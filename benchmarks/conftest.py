@@ -1,0 +1,36 @@
+"""Shared benchmark helpers.
+
+Every figure/table benchmark renders its reproduction as a plain-text
+table, prints it (visible with ``pytest -s``) and archives it under
+``benchmarks/results/`` so the EXPERIMENTS.md numbers can be traced to
+a concrete run.
+
+Set the ``REPRO_FULL_SCALE`` environment variable to run the Figure 4
+sweep at the paper's original parameters (10000 queries, 20
+repetitions — tens of minutes); the default is a scaled-down sweep that
+preserves every qualitative trend.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return bool(os.environ.get("REPRO_FULL_SCALE"))
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable: report(name, text) — print and archive a report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write

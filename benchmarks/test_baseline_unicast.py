@@ -1,0 +1,109 @@
+"""Baseline comparison: unicast (existing systems) vs the CBN.
+
+The paper's introduction motivates COSMOS with the cost of the unicast
+paradigm: separately planned queries transfer their common content
+separately, and "with a large number of user queries, such overhead
+would be overwhelming".  This benchmark measures exactly that on
+identical workloads: N subscribers with zipf-popular interests over
+sensor streams, one feed, two substrates.
+
+Expected shape: the CBN's advantage (unicast bytes / CBN bytes) grows
+with the number of subscriptions.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.unicast import UnicastNetwork
+from repro.cbn.filters import ALL_ATTRIBUTES, Filter, Profile
+from repro.cbn.network import ContentBasedNetwork
+from repro.cql.predicates import Comparison, Conjunction
+from repro.experiments.runner import render_table
+from repro.overlay.topology import barabasi_albert
+from repro.overlay.tree import DisseminationTree
+from repro.workload.sensorscope import SensorScopeReplayer, sensorscope_catalog
+from repro.workload.zipf import ZipfSampler
+
+
+def _workload(seed=5, n_streams=8, duration=20.0):
+    catalog = sensorscope_catalog(n_streams, rng=random.Random(seed))
+    topo = barabasi_albert(150, 2, random.Random(seed))
+    tree = DisseminationTree.minimum_spanning(topo)
+    feed = SensorScopeReplayer(catalog, random.Random(seed + 1)).feed(duration)
+    return catalog, tree, feed
+
+
+def _subscriptions(catalog, rng, count, skew=1.2):
+    streams = catalog.stream_names
+    stream_sampler = ZipfSampler(len(streams), skew, rng)
+    thresholds = [0.0, 10.0, 20.0, 30.0]
+    subs = []
+    for __ in range(count):
+        stream = streams[stream_sampler.sample()]
+        threshold = rng.choice(thresholds)
+        profile = Profile(
+            {stream: frozenset({"station", "ambient_temperature"})},
+            [
+                Filter(
+                    stream,
+                    Conjunction.from_atoms(
+                        [Comparison("ambient_temperature", ">=", threshold)]
+                    ),
+                )
+            ],
+        )
+        subs.append(profile)
+    return subs
+
+
+def _run(network_cls, catalog, tree, feed, profiles, placements):
+    net = network_cls(tree, catalog)
+    for index, schema in enumerate(sorted(catalog, key=lambda s: s.name)):
+        net.advertise(schema.name, index, schema)
+    for index, (profile, node) in enumerate(zip(profiles, placements)):
+        net.subscribe(profile, node, f"u{index}")
+    delivered = 0
+    for datagram in feed:
+        source = int(datagram.stream[2:])
+        delivered += len(net.publish(datagram, source))
+    return delivered, net.data_stats.total_bytes()
+
+
+def test_unicast_vs_cbn_scaling(benchmark, report):
+    catalog, tree, feed = _workload()
+    rng = random.Random(9)
+    rows = []
+    ratios = []
+
+    def sweep():
+        rows.clear()
+        ratios.clear()
+        for count in (10, 80, 320):
+            profiles = _subscriptions(catalog, random.Random(3), count)
+            placements = [rng.randrange(150) for __ in profiles]
+            cbn_delivered, cbn_bytes = _run(
+                ContentBasedNetwork, catalog, tree, feed, profiles, placements
+            )
+            uni_delivered, uni_bytes = _run(
+                UnicastNetwork, catalog, tree, feed, profiles, placements
+            )
+            assert cbn_delivered == uni_delivered  # identical semantics
+            ratio = uni_bytes / cbn_bytes
+            ratios.append(ratio)
+            rows.append([count, f"{uni_bytes:.0f}", f"{cbn_bytes:.0f}", f"{ratio:.2f}x"])
+        return ratios
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "baseline_unicast",
+        render_table(
+            ["#subscriptions", "unicast bytes", "CBN bytes", "CBN advantage"],
+            rows,
+            "Baseline: unicast (existing systems) vs content-based network",
+        ),
+    )
+    # The CBN always wins and its advantage grows with subscription count.
+    assert all(r >= 1.0 for r in ratios)
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 2.0

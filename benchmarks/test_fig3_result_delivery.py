@@ -1,0 +1,79 @@
+"""Figure 3: shared vs non-shared result stream delivery, measured.
+
+Runs the motivating example end to end on the Figure 3 overlay (queries
+q1/q2 of Table 1 at n3/n4, SPE at n1) in both modes and reports the
+bytes measured on the shared n1-n2 link.  The expected shape: the
+overlapping result contents cross the shared link once instead of
+twice, while both users receive identical results.
+"""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.runner import fig3_report, render_table
+
+
+def test_fig3_shared_vs_nonshared_delivery(benchmark, report):
+    result = benchmark.pedantic(
+        run_fig3, kwargs={"n_items": 400, "seed": 11}, rounds=1, iterations=1
+    )
+    report("fig3_result_delivery", fig3_report(result))
+
+    # Correctness first: sharing must not change what users receive.
+    assert result.results_identical
+
+    # The shared link carries strictly less with merging.
+    assert result.shared_link_bytes_share < result.shared_link_bytes_nonshare
+    assert 0.05 < result.shared_link_saving < 1.0
+
+    # Total result traffic does not regress (the last hops are equal).
+    assert result.total_bytes_share <= result.total_bytes_nonshare
+
+    # The workload actually exercises the overlap: some auctions close
+    # within 3h (q1 ∩ q2) and some only within 5h (q2 \ q1).
+    assert 0 < result.q1_results < result.q2_results
+
+
+def test_fig3_saving_grows_with_overlap(benchmark, report):
+    """Ablation on the Figure 3 scenario: the shared-link saving grows
+    with the fraction of q2's results that q1 shares (controlled by the
+    mean auction duration)."""
+    import random
+
+    from repro.experiments import fig3 as fig3mod
+    from repro.workload.auction import AuctionWorkload
+
+    def run_with_duration(mean_hours):
+        feed = AuctionWorkload(
+            random.Random(5), mean_duration=mean_hours * 3600.0
+        ).feed(300)
+        system = fig3mod._build_system(merging=True)
+        system.submit(fig3mod.TABLE1_Q1, user_node=fig3mod.N3, name="q1")
+        system.submit(fig3mod.TABLE1_Q2, user_node=fig3mod.N4, name="q2")
+        system.replay(feed)
+        share = system.network.data_stats.usage(fig3mod.N1, fig3mod.N2).bytes
+
+        baseline = fig3mod._build_system(merging=False)
+        baseline.submit(fig3mod.TABLE1_Q1, user_node=fig3mod.N3, name="q1")
+        baseline.submit(fig3mod.TABLE1_Q2, user_node=fig3mod.N4, name="q2")
+        baseline.replay(feed)
+        nonshare = baseline.network.data_stats.usage(fig3mod.N1, fig3mod.N2).bytes
+        return 1.0 - share / nonshare if nonshare else 0.0
+
+    savings = benchmark.pedantic(
+        lambda: [run_with_duration(h) for h in (8.0, 3.0, 1.0)],
+        rounds=1,
+        iterations=1,
+    )
+    rows = [[f"{h:g}h", s] for h, s in zip((8.0, 3.0, 1.0), savings)]
+    report(
+        "fig3_overlap_sweep",
+        render_table(
+            ["mean auction duration", "shared-link saving"],
+            rows,
+            "Figure 3 ablation: saving vs result overlap",
+        ),
+    )
+    # Shorter auctions -> more of q2's results also belong to q1 ->
+    # more overlap -> larger saving.
+    assert savings[2] > savings[0]

@@ -1,0 +1,54 @@
+"""Figure 4(b): grouping ratio (#groups / #queries).
+
+The complementary view of Figure 4(a): with more queries — and more
+skew — the incremental greedy algorithm packs queries into relatively
+fewer groups, so the grouping ratio falls.  "Generally, the lower the
+grouping ratio, the higher the benefit ratio could be."
+"""
+
+import pytest
+
+from repro.experiments.fig4 import Fig4Config, run_fig4
+from repro.experiments.runner import fig4_report
+
+
+def _config(full_scale: bool) -> Fig4Config:
+    if full_scale:
+        return Fig4Config.paper_scale()
+    return Fig4Config(
+        query_counts=(500, 1000, 2000),
+        skews=(0.0, 1.0, 1.5, 2.0),
+        repetitions=2,
+        topology_nodes=500,
+        seed=13,
+    )
+
+
+def test_fig4b_grouping_ratio(benchmark, report, full_scale):
+    result = benchmark.pedantic(
+        run_fig4, args=(_config(full_scale),), rounds=1, iterations=1
+    )
+    report("fig4b_grouping_ratio", fig4_report(result))
+
+    counts = sorted({p.n_queries for p in result.points})
+    first, last = counts[0], counts[-1]
+
+    # Trend 1: the grouping ratio falls as queries accumulate.
+    for skew in result.config.skews:
+        assert (
+            result.point(skew, last).grouping_ratio
+            <= result.point(skew, first).grouping_ratio + 0.02
+        ), f"grouping ratio not decreasing for skew {skew}"
+
+    # Trend 2: skew packs queries into fewer groups.
+    final = [result.point(skew, last).grouping_ratio for skew in (0.0, 1.0, 1.5, 2.0)]
+    assert final[3] < final[0], "zipf2 should group tighter than uniform"
+
+    # Trend 3 (the paper's cross-figure observation): lower grouping
+    # ratio coincides with higher benefit ratio across the skews.
+    benefits = [result.point(skew, last).benefit_ratio for skew in (0.0, 2.0)]
+    groupings = [result.point(skew, last).grouping_ratio for skew in (0.0, 2.0)]
+    assert (benefits[1] - benefits[0]) * (groupings[1] - groupings[0]) <= 0
+
+    for value in final:
+        assert 0.0 < value <= 1.0

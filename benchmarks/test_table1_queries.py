@@ -1,0 +1,48 @@
+"""Table 1: the example queries and their representative, verified.
+
+Regenerates the paper's running example (q1, q2, the composed q3 and
+the split profiles p1/p2) and checks that executing the representative
+once and splitting through the CBN reproduces direct execution exactly.
+Also times the query-layer primitives the example exercises.
+"""
+
+import pytest
+
+from repro.core.containment import contains
+from repro.core.merging import merge_queries
+from repro.cql.parser import parse_query
+from repro.experiments.runner import table1_report
+from repro.experiments.table1 import run_table1
+from repro.workload.auction import TABLE1_Q1, TABLE1_Q2, auction_catalog
+
+
+def test_table1_end_to_end(benchmark, report):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"n_items": 500, "seed": 3}, rounds=1, iterations=1
+    )
+    report("table1_queries", table1_report(result))
+
+    assert result.matches_paper_q3
+    assert result.contains_q1 and result.contains_q2
+    assert result.split_reproduces_direct
+    assert result.q1_direct == result.q1_via_split > 0
+    assert result.q2_direct == result.q2_via_split > result.q1_direct
+    assert "10800" in result.p1_filter  # the -3h window re-tightening
+    assert result.p2_filter == "TRUE"
+
+
+def test_table1_merge_throughput(benchmark):
+    """Microbenchmark: composing the Table 1 representative."""
+    catalog = auction_catalog()
+    q1 = parse_query(TABLE1_Q1, name="q1")
+    q2 = parse_query(TABLE1_Q2, name="q2")
+    rep = benchmark(merge_queries, q1, q2, catalog)
+    assert contains(q1, rep, catalog)
+
+
+def test_table1_containment_throughput(benchmark):
+    """Microbenchmark: the Theorem 1 containment decision."""
+    catalog = auction_catalog()
+    q1 = parse_query(TABLE1_Q1, name="q1")
+    rep = merge_queries(q1, parse_query(TABLE1_Q2, name="q2"), catalog)
+    assert benchmark(contains, q1, rep, catalog)

@@ -1,0 +1,58 @@
+"""Quickstart: a five-node COSMOS deployment in ~40 lines.
+
+Builds the smallest interesting system — one source, one processor, two
+users with overlapping continuous queries — and shows the paper's core
+mechanics at work: the queries are merged into one representative, the
+SPE runs once, and the content-based network splits the result stream
+back into per-user results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Attribute, CosmosSystem, DisseminationTree, StreamSchema
+
+# A line overlay: source -- broker -- processor -- broker -- users.
+edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+tree = DisseminationTree(edges, {edge: 1.0 for edge in edges})
+system = CosmosSystem(tree, processor_nodes=[2])
+
+# One temperature stream published at node 0.
+system.add_source(
+    StreamSchema(
+        "Temp",
+        [
+            Attribute("station", "int", 0, 9),
+            Attribute("celsius", "float", -20.0, 40.0),
+        ],
+        rate=1.0,
+    ),
+    node=0,
+)
+
+# Two users with overlapping interests submit CQL queries.
+hot = system.submit(
+    "SELECT T.station, T.celsius FROM Temp [Range 1 Hour] T WHERE T.celsius >= 30",
+    user_node=4,
+    name="hot",
+)
+warm = system.submit(
+    "SELECT T.station, T.celsius FROM Temp [Range 1 Hour] T WHERE T.celsius >= 20",
+    user_node=3,
+    name="warm",
+)
+
+summary = system.grouping_summary()
+print(f"queries: {summary['queries']:.0f}, groups: {summary['groups']:.0f} "
+      f"(the processor runs ONE representative query)")
+
+# Publish a few readings and watch the split.
+for ts, celsius in enumerate([15.0, 25.0, 31.0, 35.0, 18.0]):
+    system.publish("Temp", {"station": 1, "celsius": celsius}, float(ts))
+
+print(f"hot  user received: {[r.payload['Temp.celsius'] for r in hot.results]}")
+print(f"warm user received: {[r.payload['Temp.celsius'] for r in warm.results]}")
+print(f"delay-weighted bytes moved: {system.data_cost():.0f}")
+
+assert [r.payload["Temp.celsius"] for r in hot.results] == [31.0, 35.0]
+assert [r.payload["Temp.celsius"] for r in warm.results] == [25.0, 31.0, 35.0]
+print("ok: the CBN split reproduced each user's own query exactly")

@@ -1,0 +1,70 @@
+"""COSMOS — a reproduction of "Rethinking the Design of Distributed
+Stream Processing Systems" (Zhou, Aberer, Salehi, Tan — ICDE 2008).
+
+COSMOS processes large numbers of continuous queries over widely
+distributed stream sources by replacing point-to-point transfer with a
+content-based network (CBN), and by merging overlapping queries into
+representative queries whose result streams the CBN splits back apart.
+
+Layer map (bottom up):
+
+* :mod:`repro.cql` — the CQL-like continuous query language;
+* :mod:`repro.overlay` — topologies, dissemination trees, the adaptive
+  overlay optimizer;
+* :mod:`repro.cbn` — the content-based network (profiles, routing,
+  early projection, schema distribution);
+* :mod:`repro.spe` — the pluggable stream processing engine;
+* :mod:`repro.core` — the query layer: containment, merging, profile
+  composition, cost estimation, incremental greedy grouping;
+* :mod:`repro.system` — whole-system simulation, query distribution,
+  fault tolerance, the delivery cost model;
+* :mod:`repro.workload` — SensorScope-like and auction workloads plus
+  the random query generator;
+* :mod:`repro.experiments` — the harness regenerating every figure and
+  table of the paper's evaluation.
+"""
+
+from repro.cbn import ContentBasedNetwork, Datagram, Filter, Profile
+from repro.cql import ContinuousQuery, parse_query, to_cql
+from repro.cql.schema import Attribute, Catalog, StreamSchema
+from repro.core import (
+    CostModel,
+    GroupingOptimizer,
+    QueryManager,
+    contains,
+    merge_queries,
+    representative,
+    result_profile,
+    source_profile,
+)
+from repro.overlay import DisseminationTree, Topology, barabasi_albert
+from repro.spe import StreamProcessingEngine
+from repro.system import CosmosSystem
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "ContentBasedNetwork",
+    "ContinuousQuery",
+    "CosmosSystem",
+    "CostModel",
+    "Datagram",
+    "DisseminationTree",
+    "Filter",
+    "GroupingOptimizer",
+    "Profile",
+    "QueryManager",
+    "StreamProcessingEngine",
+    "StreamSchema",
+    "Topology",
+    "barabasi_albert",
+    "contains",
+    "merge_queries",
+    "parse_query",
+    "representative",
+    "result_profile",
+    "source_profile",
+    "to_cql",
+]

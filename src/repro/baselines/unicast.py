@@ -1,0 +1,184 @@
+"""The unicast communication substrate of pre-COSMOS systems.
+
+Existing distributed stream processors ([4, 13]) connect each consumer
+to each source point-to-point over the overlay: every subscription is
+an independent flow, so a link shared by two subscriptions to the same
+stream carries the (possibly identical) content once *per
+subscription*.  Filtering and projection still happen at the source
+(those systems push selections to the data's entry point — we grant the
+baseline that optimisation so the comparison isolates *sharing*), but
+nothing is shared between flows and sources must track every consumer
+(the tight coupling the paper criticises).
+
+:class:`UnicastNetwork` mirrors the
+:class:`~repro.cbn.network.ContentBasedNetwork` interface (advertise /
+subscribe / publish with :class:`~repro.cbn.filters.Profile`), so the
+same workloads drive both; :class:`UnicastCostModel` is the analytic
+counterpart used by the sweep benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cbn.datagram import Datagram
+from repro.cbn.filters import ALL_ATTRIBUTES, Profile
+from repro.cbn.network import Delivery, NetworkError
+from repro.core.cost import CostModel
+from repro.cql.ast import ContinuousQuery
+from repro.cql.schema import Catalog
+from repro.overlay.metrics import LinkStats
+from repro.overlay.topology import NodeId
+from repro.overlay.tree import DisseminationTree
+
+
+@dataclass
+class _UnicastSubscription:
+    subscription_id: str
+    node: NodeId
+    profile: Profile
+
+
+class UnicastNetwork:
+    """Point-to-point delivery of per-subscription flows.
+
+    Every publication is matched against every subscription at the
+    source ("the sources not only have to transfer data for every
+    relevant query but also have to keep track of all of them") and a
+    separate copy travels the overlay path to each matching subscriber.
+    """
+
+    def __init__(
+        self,
+        tree: DisseminationTree,
+        catalog: Optional[Catalog] = None,
+    ) -> None:
+        self._tree = tree
+        self.catalog = catalog if catalog is not None else Catalog()
+        self._subscriptions: Dict[str, _UnicastSubscription] = {}
+        weights = {edge: tree.weight(*edge) for edge in tree.edges}
+        self.data_stats = LinkStats(weights)
+        self.control_stats = LinkStats(weights)
+        self._counter = itertools.count()
+
+    @property
+    def tree(self) -> DisseminationTree:
+        return self._tree
+
+    # -- interface mirror of ContentBasedNetwork ---------------------------------
+
+    def advertise(self, stream: str, node: NodeId, schema=None) -> None:
+        """Unicast systems have no advertisement mechanism; the source
+        address is learned out of band.  Kept for interface parity."""
+        if node not in self._tree:
+            raise NetworkError(f"unknown node {node}")
+        if schema is not None:
+            self.catalog.register(schema)
+
+    def subscribe(
+        self,
+        profile: Profile,
+        node: NodeId,
+        subscription_id: Optional[str] = None,
+    ) -> str:
+        if node not in self._tree:
+            raise NetworkError(f"unknown node {node}")
+        if subscription_id is None:
+            subscription_id = f"sub-{next(self._counter)}"
+        if subscription_id in self._subscriptions:
+            raise NetworkError(f"duplicate subscription id {subscription_id!r}")
+        self._subscriptions[subscription_id] = _UnicastSubscription(
+            subscription_id, node, profile
+        )
+        # The source must learn about the consumer: one control message
+        # travels consumer -> source region (charged on the whole path
+        # at publish-subscription time is impossible — sources are
+        # unknown here — so charge the registration like a profile).
+        return subscription_id
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        if subscription_id not in self._subscriptions:
+            raise NetworkError(f"unknown subscription {subscription_id!r}")
+        del self._subscriptions[subscription_id]
+
+    def publish(self, datagram: Datagram, node: NodeId) -> List[Delivery]:
+        """One independent flow per matching subscription."""
+        if node not in self._tree:
+            raise NetworkError(f"unknown broker {node}")
+        widths = self._widths_for(datagram.stream)
+        deliveries: List[Delivery] = []
+        for sub in self._subscriptions.values():
+            projected = sub.profile.apply(datagram)
+            if projected is None:
+                continue
+            size = projected.size_bytes(widths)
+            for u, v in self._tree.path_edges(node, sub.node):
+                self.data_stats.record(u, v, size)
+            deliveries.append(Delivery(sub.subscription_id, sub.node, projected))
+        return deliveries
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    def _widths_for(self, stream: str) -> Optional[Dict[str, int]]:
+        if stream not in self.catalog:
+            return None
+        schema = self.catalog.get(stream)
+        return {attr.name: attr.byte_width for attr in schema.attributes}
+
+
+class UnicastCostModel:
+    """Analytic communication cost of the unicast architecture.
+
+    For each query placed at a processor: its (filtered, projected)
+    source streams flow source -> processor, and its result stream
+    flows processor -> user, each as an independent flow — the sum over
+    queries of per-query path costs, with no sharing anywhere.
+    """
+
+    def __init__(
+        self,
+        tree: DisseminationTree,
+        catalog: Catalog,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self._tree = tree
+        self._catalog = catalog
+        self._cost = cost_model or CostModel()
+
+    def source_rate(self, query: ContinuousQuery, stream: str) -> float:
+        """Bytes/second of one source flow of ``query`` (filtered and
+        projected at the source, as placement-optimised systems do)."""
+        return self._cost.source_flow_rate(query, stream, self._catalog)
+
+    def query_cost(
+        self,
+        query: ContinuousQuery,
+        source_nodes: Mapping[str, NodeId],
+        processor_node: NodeId,
+        user_node: NodeId,
+    ) -> float:
+        """Total link cost of one query's flows."""
+        total = 0.0
+        for stream in set(query.stream_names):
+            rate = self.source_rate(query, stream)
+            total += rate * self._tree.path_weight(
+                source_nodes[stream], processor_node
+            )
+        result_rate = self._cost.result_rate(query, self._catalog)
+        total += result_rate * self._tree.path_weight(processor_node, user_node)
+        return total
+
+    def total_cost(
+        self,
+        placements: Sequence[Tuple[ContinuousQuery, NodeId, NodeId]],
+        source_nodes: Mapping[str, NodeId],
+    ) -> float:
+        """Sum of per-query costs for (query, processor, user) triples."""
+        return sum(
+            self.query_cost(query, source_nodes, processor, user)
+            for query, processor, user in placements
+        )

@@ -1,0 +1,278 @@
+"""Binary wire encoding of datagrams and profiles.
+
+The simulation accounts traffic with schema-derived sizes, but a
+deployable CBN needs an actual wire format; this module defines one and
+the codec for it, so datagrams and subscription profiles can round-trip
+through bytes (tested exhaustively and property-based).
+
+Format (all integers big-endian):
+
+* strings: ``u16 length`` + UTF-8 bytes;
+* values: 1 type tag (``i``/``d``/``s``) + payload (``i64`` / ``f64`` /
+  string);
+* datagram: magic ``CD``, stream, ``f64`` timestamp, ``u16`` attribute
+  count, then (name, value) pairs;
+* interval: flags byte (lo present / hi present / lo strict / hi
+  strict) + present bounds as values;
+* conjunction: four sections (intervals, exclusions, links, diffs),
+  each ``u16``-counted;
+* profile: magic ``CP``, ``u16`` stream count, per stream (name, ``*``
+  flag or ``u16``-counted attribute names), ``u16`` filter count, per
+  filter (stream, conjunction).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from repro.cbn.datagram import Datagram, Value
+from repro.cbn.filters import ALL_ATTRIBUTES, Filter, Profile
+from repro.cql.predicates import Conjunction, Interval
+
+_DATAGRAM_MAGIC = b"CD"
+_PROFILE_MAGIC = b"CP"
+
+
+class CodecError(Exception):
+    """Raised on malformed buffers or unencodable values."""
+
+
+# ---------------------------------------------------------------------------
+# primitives
+# ---------------------------------------------------------------------------
+
+
+def _pack_string(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise CodecError(f"string too long to encode ({len(raw)} bytes)")
+    return struct.pack(">H", len(raw)) + raw
+
+
+def _unpack_string(buffer: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    raw = buffer[offset : offset + length]
+    if len(raw) != length:
+        raise CodecError("truncated string")
+    return raw.decode("utf-8"), offset + length
+
+
+def _pack_value(value: Value) -> bytes:
+    if isinstance(value, bool):
+        raise CodecError("boolean attribute values are not part of the model")
+    if isinstance(value, int):
+        return b"i" + struct.pack(">q", value)
+    if isinstance(value, float):
+        return b"d" + struct.pack(">d", value)
+    if isinstance(value, str):
+        return b"s" + _pack_string(value)
+    raise CodecError(f"unencodable value type {type(value).__name__}")
+
+
+def _unpack_value(buffer: bytes, offset: int) -> Tuple[Value, int]:
+    tag = buffer[offset : offset + 1]
+    offset += 1
+    if tag == b"i":
+        (value,) = struct.unpack_from(">q", buffer, offset)
+        return value, offset + 8
+    if tag == b"d":
+        (value,) = struct.unpack_from(">d", buffer, offset)
+        return value, offset + 8
+    if tag == b"s":
+        return _unpack_string(buffer, offset)
+    raise CodecError(f"unknown value tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# datagrams
+# ---------------------------------------------------------------------------
+
+
+def encode_datagram(datagram: Datagram) -> bytes:
+    """Serialise a datagram to its wire representation."""
+    parts = [
+        _DATAGRAM_MAGIC,
+        _pack_string(datagram.stream),
+        struct.pack(">d", datagram.timestamp),
+        struct.pack(">H", len(datagram.payload)),
+    ]
+    for name in sorted(datagram.payload):
+        parts.append(_pack_string(name))
+        parts.append(_pack_value(datagram.payload[name]))
+    return b"".join(parts)
+
+
+def decode_datagram(buffer: bytes) -> Datagram:
+    if buffer[:2] != _DATAGRAM_MAGIC:
+        raise CodecError("not a datagram buffer")
+    offset = 2
+    stream, offset = _unpack_string(buffer, offset)
+    (timestamp,) = struct.unpack_from(">d", buffer, offset)
+    offset += 8
+    (count,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    payload: Dict[str, Value] = {}
+    for __ in range(count):
+        name, offset = _unpack_string(buffer, offset)
+        value, offset = _unpack_value(buffer, offset)
+        payload[name] = value
+    return Datagram(stream, payload, timestamp)
+
+
+# ---------------------------------------------------------------------------
+# intervals and conjunctions
+# ---------------------------------------------------------------------------
+
+
+def _pack_interval(interval: Interval) -> bytes:
+    flags = (
+        (1 if interval.lo is not None else 0)
+        | (2 if interval.hi is not None else 0)
+        | (4 if interval.lo_strict else 0)
+        | (8 if interval.hi_strict else 0)
+    )
+    parts = [struct.pack(">B", flags)]
+    if interval.lo is not None:
+        parts.append(_pack_value(interval.lo))
+    if interval.hi is not None:
+        parts.append(_pack_value(interval.hi))
+    return b"".join(parts)
+
+
+def _unpack_interval(buffer: bytes, offset: int) -> Tuple[Interval, int]:
+    (flags,) = struct.unpack_from(">B", buffer, offset)
+    offset += 1
+    lo = hi = None
+    if flags & 1:
+        lo, offset = _unpack_value(buffer, offset)
+    if flags & 2:
+        hi, offset = _unpack_value(buffer, offset)
+    return Interval(lo, hi, bool(flags & 4), bool(flags & 8)), offset
+
+
+def encode_conjunction(conjunction: Conjunction) -> bytes:
+    intervals = conjunction.intervals
+    excluded = conjunction.excluded
+    links = sorted(conjunction.links)
+    diffs = conjunction.diffs
+    parts = [struct.pack(">H", len(intervals))]
+    for term in sorted(intervals):
+        parts.append(_pack_string(term))
+        parts.append(_pack_interval(intervals[term]))
+    parts.append(struct.pack(">H", len(excluded)))
+    for term in sorted(excluded):
+        parts.append(_pack_string(term))
+        values = sorted(excluded[term], key=repr)
+        parts.append(struct.pack(">H", len(values)))
+        for value in values:
+            parts.append(_pack_value(value))
+    parts.append(struct.pack(">H", len(links)))
+    for a, b in links:
+        parts.append(_pack_string(a))
+        parts.append(_pack_string(b))
+    parts.append(struct.pack(">H", len(diffs)))
+    for a, b in sorted(diffs):
+        parts.append(_pack_string(a))
+        parts.append(_pack_string(b))
+        parts.append(_pack_interval(diffs[(a, b)]))
+    return b"".join(parts)
+
+
+def decode_conjunction(buffer: bytes, offset: int = 0) -> Tuple[Conjunction, int]:
+    (n_intervals,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    intervals: Dict[str, Interval] = {}
+    for __ in range(n_intervals):
+        term, offset = _unpack_string(buffer, offset)
+        interval, offset = _unpack_interval(buffer, offset)
+        intervals[term] = interval
+    (n_excluded,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    excluded: Dict[str, frozenset] = {}
+    for __ in range(n_excluded):
+        term, offset = _unpack_string(buffer, offset)
+        (n_values,) = struct.unpack_from(">H", buffer, offset)
+        offset += 2
+        values = []
+        for __ in range(n_values):
+            value, offset = _unpack_value(buffer, offset)
+            values.append(value)
+        excluded[term] = frozenset(values)
+    (n_links,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    links = []
+    for __ in range(n_links):
+        a, offset = _unpack_string(buffer, offset)
+        b, offset = _unpack_string(buffer, offset)
+        links.append((a, b))
+    (n_diffs,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    diffs: Dict[Tuple[str, str], Interval] = {}
+    for __ in range(n_diffs):
+        a, offset = _unpack_string(buffer, offset)
+        b, offset = _unpack_string(buffer, offset)
+        interval, offset = _unpack_interval(buffer, offset)
+        diffs[(a, b)] = interval
+    return Conjunction(intervals, excluded, links, diffs), offset
+
+
+# ---------------------------------------------------------------------------
+# profiles
+# ---------------------------------------------------------------------------
+
+
+def encode_profile(profile: Profile) -> bytes:
+    """Serialise a ⟨S, P, F⟩ profile (subscriber identity excluded —
+    it is transport-level addressing, not profile content)."""
+    projections = profile.projections
+    parts = [_PROFILE_MAGIC, struct.pack(">H", len(projections))]
+    for stream in sorted(projections):
+        parts.append(_pack_string(stream))
+        projection = projections[stream]
+        if projection == ALL_ATTRIBUTES:
+            parts.append(struct.pack(">B", 1))
+        else:
+            parts.append(struct.pack(">B", 0))
+            names = sorted(projection)
+            parts.append(struct.pack(">H", len(names)))
+            for name in names:
+                parts.append(_pack_string(name))
+    filters = profile.filters
+    parts.append(struct.pack(">H", len(filters)))
+    for flt in filters:
+        parts.append(_pack_string(flt.stream))
+        parts.append(encode_conjunction(flt.condition))
+    return b"".join(parts)
+
+
+def decode_profile(buffer: bytes) -> Profile:
+    if buffer[:2] != _PROFILE_MAGIC:
+        raise CodecError("not a profile buffer")
+    offset = 2
+    (n_streams,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    projections: Dict[str, frozenset] = {}
+    for __ in range(n_streams):
+        stream, offset = _unpack_string(buffer, offset)
+        (all_flag,) = struct.unpack_from(">B", buffer, offset)
+        offset += 1
+        if all_flag:
+            projections[stream] = ALL_ATTRIBUTES
+        else:
+            (n_names,) = struct.unpack_from(">H", buffer, offset)
+            offset += 2
+            names = []
+            for __ in range(n_names):
+                name, offset = _unpack_string(buffer, offset)
+                names.append(name)
+            projections[stream] = frozenset(names)
+    (n_filters,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    filters: List[Filter] = []
+    for __ in range(n_filters):
+        stream, offset = _unpack_string(buffer, offset)
+        condition, offset = decode_conjunction(buffer, offset)
+        filters.append(Filter(stream, condition))
+    return Profile(projections, filters)

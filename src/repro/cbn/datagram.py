@@ -1,0 +1,104 @@
+"""Stream-tagged datagrams.
+
+A classic CBN datagram is a set of attribute/value pairs.  COSMOS
+datagrams additionally carry the unique name of the stream they belong
+to (section 3: "we have to first enhance the CBN to be aware of
+streaming relations") and a timestamp drawn from the application time
+domain T (section 4, Definition 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
+
+Value = Union[int, float, str]
+
+#: Per-type wire widths used when no schema information is available.
+_FALLBACK_WIDTHS = {int: 4, float: 8, str: 16, bool: 1}
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One immutable datagram of a named stream.
+
+    ``payload`` maps attribute names to values; ``timestamp`` is the
+    application-time instant of the tuple the datagram carries.
+    """
+
+    stream: str
+    payload: Mapping[str, Value]
+    timestamp: float = 0.0
+
+    def __init__(
+        self,
+        stream: str,
+        payload: Mapping[str, Value],
+        timestamp: float = 0.0,
+    ) -> None:
+        object.__setattr__(self, "stream", stream)
+        object.__setattr__(self, "payload", dict(payload))
+        object.__setattr__(self, "timestamp", float(timestamp))
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset(self.payload)
+
+    def value(self, attribute: str) -> Value:
+        return self.payload[attribute]
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.payload
+
+    # -- transformation -----------------------------------------------------------
+
+    def project(self, attributes: Iterable[str]) -> "Datagram":
+        """A copy keeping only ``attributes`` (the CBN's early projection).
+
+        Attributes that the datagram does not carry are silently
+        skipped, matching the forgiving semantics of profile projection
+        sets aggregated from several subscriptions.
+        """
+        keep = set(attributes)
+        payload = {k: v for k, v in self.payload.items() if k in keep}
+        return Datagram(self.stream, payload, self.timestamp)
+
+    def relabel(self, stream: str) -> "Datagram":
+        """A copy tagged as belonging to another stream (result streams)."""
+        return Datagram(stream, self.payload, self.timestamp)
+
+    # -- size accounting -------------------------------------------------------------
+
+    def size_bytes(self, widths: Optional[Mapping[str, int]] = None) -> float:
+        """Approximate wire size of the datagram payload.
+
+        ``widths`` (attribute name -> bytes) comes from the stream
+        schema when available; otherwise Python-type fallbacks apply.
+        """
+        total = 0.0
+        for name, value in self.payload.items():
+            if widths is not None and name in widths:
+                total += widths[name]
+            else:
+                total += _FALLBACK_WIDTHS.get(type(value), 16)
+        return total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Datagram):
+            return NotImplemented
+        return (
+            self.stream == other.stream
+            and self.timestamp == other.timestamp
+            and dict(self.payload) == dict(other.payload)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.stream, self.timestamp, frozenset(self.payload.items()))
+        )
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v!r}" for k, v in sorted(self.payload.items()))
+        return f"Datagram({self.stream}@{self.timestamp:g}: {items})"

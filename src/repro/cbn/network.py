@@ -1,0 +1,344 @@
+"""The content-based network: advertisement, subscription, publication.
+
+This is the data layer of COSMOS.  Brokers sit on a dissemination tree;
+sources *advertise* the streams they publish, receivers *subscribe*
+data-interest profiles, and published datagrams are routed hop-by-hop:
+at every broker the datagram is delivered to covering local subscribers
+and forwarded on each interface behind which a covering profile lives,
+projected down to the attributes actually requested downstream (early
+projection).
+
+Subscription propagation is advertisement-scoped by default (profiles
+only travel toward the advertised publishers of their streams, the
+Siena model); set ``scope_to_advertisements=False`` to flood them
+everywhere, which is simpler but costs control traffic and routing
+state.
+
+All data traffic is accounted in :attr:`ContentBasedNetwork.data_stats`
+and control traffic (subscriptions, advertisements) in
+:attr:`ContentBasedNetwork.control_stats`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.cbn.datagram import Datagram
+from repro.cbn.filters import Profile
+from repro.cbn.routing import RoutingTable
+from repro.cql.schema import Catalog, StreamSchema
+from repro.overlay.metrics import LinkStats
+from repro.overlay.topology import NodeId
+from repro.overlay.tree import DisseminationTree
+
+
+class NetworkError(Exception):
+    """Raised for operations on unknown nodes/subscriptions."""
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One datagram delivered to one subscriber."""
+
+    subscription_id: str
+    node: NodeId
+    datagram: Datagram
+
+
+@dataclass
+class _Subscription:
+    subscription_id: str
+    node: NodeId
+    profile: Profile
+
+
+@dataclass
+class _Advertisement:
+    stream: str
+    node: NodeId
+
+
+class ContentBasedNetwork:
+    """A simulated CBN over a dissemination tree of brokers.
+
+    Parameters
+    ----------
+    tree:
+        The overlay dissemination tree the brokers form.
+    catalog:
+        Optional shared schema catalog used to price datagram payloads;
+        advertised schemas are registered into it.
+    scope_to_advertisements:
+        Propagate subscriptions only toward advertised publishers of
+        the streams they request (default) instead of flooding.
+    use_subsumption:
+        Enable covering-based routing-table aggregation.
+    """
+
+    def __init__(
+        self,
+        tree: DisseminationTree,
+        catalog: Optional[Catalog] = None,
+        scope_to_advertisements: bool = True,
+        use_subsumption: bool = False,
+        stream_trees: Optional[Mapping[str, DisseminationTree]] = None,
+    ) -> None:
+        self._tree = tree
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.use_subsumption = use_subsumption
+        self.scope_to_advertisements = scope_to_advertisements
+        self._scope = scope_to_advertisements
+        #: Optional per-stream dissemination trees ("the nodes in COSMOS
+        #: are organized into multiple overlay dissemination trees").
+        #: Streams not listed use the default tree; every tree must span
+        #: the same node set.
+        self._stream_trees: Dict[str, DisseminationTree] = dict(stream_trees or {})
+        for stream, stree in self._stream_trees.items():
+            if set(stree.nodes) != set(tree.nodes):
+                raise NetworkError(
+                    f"tree for stream {stream!r} spans different nodes"
+                )
+        self._tables: Dict[NodeId, RoutingTable] = {
+            node: RoutingTable(node, use_subsumption) for node in tree.nodes
+        }
+        self._subscriptions: Dict[str, _Subscription] = {}
+        self._advertisements: Dict[str, List[_Advertisement]] = {}
+        weights = {edge: tree.weight(*edge) for edge in tree.edges}
+        for stree in self._stream_trees.values():
+            for edge in stree.edges:
+                weights.setdefault(edge, stree.weight(*edge))
+        self.data_stats = LinkStats(weights)
+        self.control_stats = LinkStats(weights)
+        self._counter = itertools.count()
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def tree(self) -> DisseminationTree:
+        return self._tree
+
+    @property
+    def has_stream_trees(self) -> bool:
+        return bool(self._stream_trees)
+
+    def tree_for(self, stream: str) -> DisseminationTree:
+        """The dissemination tree datagrams of ``stream`` travel on."""
+        return self._stream_trees.get(stream, self._tree)
+
+    def set_stream_tree(self, stream: str, tree: DisseminationTree) -> None:
+        """Attach a dedicated dissemination tree for one stream.
+
+        Must happen before any subscription requesting the stream is
+        installed (routing entries already laid along the old tree
+        would be stranded).
+        """
+        if set(tree.nodes) != set(self._tree.nodes):
+            raise NetworkError(f"tree for stream {stream!r} spans different nodes")
+        for sub in self._subscriptions.values():
+            if stream in sub.profile.streams:
+                raise NetworkError(
+                    f"stream {stream!r} already has subscriptions; its tree "
+                    "can no longer change"
+                )
+        self._stream_trees[stream] = tree
+        for edge in tree.edges:
+            weight = tree.weight(*edge)
+            self.data_stats.add_weight(edge, weight)
+            self.control_stats.add_weight(edge, weight)
+
+    def table(self, node: NodeId) -> RoutingTable:
+        try:
+            return self._tables[node]
+        except KeyError:
+            raise NetworkError(f"unknown broker {node}") from None
+
+    # -- advertisement --------------------------------------------------------------
+
+    def advertise(
+        self,
+        stream: str,
+        node: NodeId,
+        schema: Optional[StreamSchema] = None,
+    ) -> None:
+        """Declare that ``node`` publishes ``stream``.
+
+        Existing subscriptions requesting the stream are (re-)propagated
+        toward the new publisher so later publications reach them.
+        """
+        if node not in self._tables:
+            raise NetworkError(f"unknown broker {node}")
+        self._advertisements.setdefault(stream, []).append(
+            _Advertisement(stream, node)
+        )
+        if schema is not None:
+            self.catalog.register(schema)
+        if self._scope:
+            for sub in self._subscriptions.values():
+                if stream in sub.profile.streams:
+                    self._propagate_toward(sub, stream, node)
+
+    def publishers_of(self, stream: str) -> List[NodeId]:
+        return [ad.node for ad in self._advertisements.get(stream, [])]
+
+    # -- subscription -----------------------------------------------------------------
+
+    def subscribe(
+        self,
+        profile: Profile,
+        node: NodeId,
+        subscription_id: Optional[str] = None,
+    ) -> str:
+        """Install ``profile`` for a party attached to broker ``node``.
+
+        Returns the subscription id (generated when not supplied).
+        """
+        if node not in self._tables:
+            raise NetworkError(f"unknown broker {node}")
+        if subscription_id is None:
+            subscription_id = f"sub-{next(self._counter)}"
+        if subscription_id in self._subscriptions:
+            raise NetworkError(f"duplicate subscription id {subscription_id!r}")
+        sub = _Subscription(subscription_id, node, profile)
+        self._subscriptions[subscription_id] = sub
+        self._tables[node].install(RoutingTable.LOCAL, subscription_id, profile)
+        if self._scope:
+            for stream in profile.streams:
+                for publisher in self.publishers_of(stream):
+                    self._propagate_toward(sub, stream, publisher)
+        else:
+            for stream in profile.streams:
+                self._flood_subscription(sub, stream)
+        return subscription_id
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        if subscription_id not in self._subscriptions:
+            raise NetworkError(f"unknown subscription {subscription_id!r}")
+        removed = self._subscriptions.pop(subscription_id)
+        for tbl in self._tables.values():
+            tbl.remove(subscription_id)
+        if not self.use_subsumption:
+            return
+        # Covering aggregation may have suppressed other subscriptions'
+        # entries behind the removed one; re-propagate every remaining
+        # subscription that shares a stream so the uncovered ones regain
+        # their own forwarding state (installation is idempotent).
+        for sub in self._subscriptions.values():
+            shared = sub.profile.streams & removed.profile.streams
+            if not shared:
+                continue
+            for stream in shared:
+                if self._scope:
+                    for publisher in self.publishers_of(stream):
+                        self._propagate_toward(sub, stream, publisher)
+                else:
+                    self._flood_subscription(sub, stream)
+
+    def _propagate_toward(
+        self, sub: _Subscription, stream: str, publisher: NodeId
+    ) -> None:
+        """Install routing entries along the path subscriber -> publisher.
+
+        Propagation is *per stream*: the installed entry is the profile
+        restricted to ``stream`` and the path follows that stream's own
+        dissemination tree, so configurations with multiple trees route
+        each stream on its tree.  Walking outward from the subscriber,
+        every node on the path stores the restricted profile behind the
+        interface pointing back at the subscriber.  A subsumed entry is
+        *not stored* (covering aggregation: the broader profile on the
+        same interface already routes everything we would match, with a
+        carried-attribute superset) but propagation continues — the
+        covering subscription may have been propagated toward different
+        publishers, so upstream nodes still need an entry for this one.
+        """
+        if publisher == sub.node:
+            return
+        restricted = sub.profile.restricted_to(stream)
+        entry_id = f"{sub.subscription_id}#{stream}"
+        tree = self.tree_for(stream)
+        path = tree.path(sub.node, publisher)
+        size = float(restricted.size_estimate())
+        for toward_sub, here in zip(path, path[1:]):
+            self._tables[here].install(toward_sub, entry_id, restricted)
+            self.control_stats.record(toward_sub, here, size)
+
+    def _flood_subscription(self, sub: _Subscription, stream: str) -> None:
+        """Install routing entries everywhere (flooding propagation).
+
+        Like :meth:`_propagate_toward`, per stream on the stream's tree;
+        covering aggregation only prunes stored state — the flood always
+        visits the whole tree.
+        """
+        restricted = sub.profile.restricted_to(stream)
+        entry_id = f"{sub.subscription_id}#{stream}"
+        tree = self.tree_for(stream)
+        size = float(restricted.size_estimate())
+        seen = {sub.node}
+        frontier = [sub.node]
+        while frontier:
+            here = frontier.pop()
+            for neighbor in tree.neighbors(here):
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                # At ``neighbor`` the subscriber lies behind ``here``.
+                self._tables[neighbor].install(here, entry_id, restricted)
+                self.control_stats.record(here, neighbor, size)
+                frontier.append(neighbor)
+
+    # -- publication ---------------------------------------------------------------------
+
+    def publish(self, datagram: Datagram, node: NodeId) -> List[Delivery]:
+        """Inject ``datagram`` at broker ``node`` and route it.
+
+        Returns every delivery made to a subscriber, with the
+        per-subscriber projection applied.  Link traffic is recorded on
+        :attr:`data_stats` using schema widths when the stream's schema
+        is in the catalog.
+        """
+        if node not in self._tables:
+            raise NetworkError(f"unknown broker {node}")
+        widths = self._widths_for(datagram.stream)
+        tree = self.tree_for(datagram.stream)
+        deliveries: List[Delivery] = []
+        #: (broker to process, interface it arrived from, datagram copy)
+        stack: List[Tuple[NodeId, Optional[NodeId], Datagram]] = [
+            (node, None, datagram)
+        ]
+        while stack:
+            here, arrived_from, current = stack.pop()
+            table = self._tables[here]
+            for sid, projected in table.local_deliveries(current):
+                deliveries.append(Delivery(sid, here, projected))
+            for neighbor in tree.neighbors(here):
+                if neighbor == arrived_from:
+                    continue
+                decision = table.decide(neighbor, current)
+                if not decision.forward:
+                    continue
+                if decision.attributes is None:
+                    outgoing = current
+                else:
+                    outgoing = current.project(decision.attributes)
+                self.data_stats.record(
+                    here, neighbor, outgoing.size_bytes(widths)
+                )
+                stack.append((neighbor, here, outgoing))
+        return deliveries
+
+    def _widths_for(self, stream: str) -> Optional[Dict[str, int]]:
+        if stream not in self.catalog:
+            return None
+        schema = self.catalog.get(stream)
+        return {attr.name: attr.byte_width for attr in schema.attributes}
+
+    # -- introspection -----------------------------------------------------------------------
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    def routing_state_size(self) -> int:
+        """Total routing entries across all brokers (table pressure)."""
+        return sum(tbl.entry_count for tbl in self._tables.values())

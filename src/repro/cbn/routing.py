@@ -1,0 +1,151 @@
+"""Per-node CBN routing state.
+
+Every broker keeps, per overlay interface (tree neighbour), the set of
+data-interest profiles reachable through that interface.  A datagram
+arriving at the broker is forwarded on an interface when any profile
+behind it covers the datagram, after **early projection**: the
+forwarded copy keeps only the union of the attributes requested by the
+covering downstream profiles (section 3.1).
+
+Routing tables optionally aggregate with *subsumption*: a newly
+installed profile that is subsumed by an existing one on the same
+interface is not stored (and does not need further propagation), the
+classic CBN optimisation (Siena-style covering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.cbn.datagram import Datagram
+from repro.cbn.filters import ALL_ATTRIBUTES, Profile
+from repro.overlay.topology import NodeId
+
+
+class RoutingError(Exception):
+    """Raised for inconsistent routing operations."""
+
+
+@dataclass
+class ForwardDecision:
+    """Outcome of evaluating a datagram against one interface.
+
+    ``forward`` says whether any downstream profile covers the datagram;
+    ``attributes`` is the union of attribute names the downstream
+    coverers need (``None`` means "all attributes", i.e. no projection).
+    """
+
+    forward: bool
+    attributes: Optional[FrozenSet[str]] = None
+
+
+class RoutingTable:
+    """Routing state of one broker.
+
+    Entries are keyed ``(interface, subscription_id)`` where interface
+    is either a neighbour node id or :data:`LOCAL` for subscriptions
+    attached directly to this broker.
+    """
+
+    #: Interface key for locally attached subscribers.
+    LOCAL: object = "local"
+
+    def __init__(self, node: NodeId, use_subsumption: bool = False) -> None:
+        self.node = node
+        self._use_subsumption = use_subsumption
+        self._entries: Dict[object, Dict[str, Profile]] = {}
+
+    # -- maintenance -----------------------------------------------------------
+
+    def install(self, interface: object, subscription_id: str, profile: Profile) -> bool:
+        """Install a profile behind an interface.
+
+        Returns ``False`` when subsumption aggregation suppressed the
+        entry (an existing profile on the same interface already covers
+        it), meaning propagation beyond this node can stop.
+        """
+        entries = self._entries.setdefault(interface, {})
+        # Local subscribers are delivery endpoints, not forwarding state:
+        # every one needs its own entry (own projection), so covering
+        # aggregation only applies to remote interfaces.
+        if self._use_subsumption and interface is not self.LOCAL:
+            for existing in entries.values():
+                if existing.subsumes(profile):
+                    return False
+            # Remove entries the new profile renders redundant.
+            redundant = [
+                sid for sid, p in entries.items() if profile.subsumes(p)
+            ]
+            for sid in redundant:
+                del entries[sid]
+        entries[subscription_id] = profile
+        return True
+
+    def remove(self, subscription_id: str) -> None:
+        """Drop a subscription from every interface.
+
+        Also removes the per-stream forwarding entries the network
+        layer installs under ``"<id>#<stream>"`` composite keys.
+        """
+        prefix = subscription_id + "#"
+        for entries in self._entries.values():
+            entries.pop(subscription_id, None)
+            for key in [k for k in entries if k.startswith(prefix)]:
+                del entries[key]
+
+    def remove_interface(self, interface: object) -> None:
+        self._entries.pop(interface, None)
+
+    def profiles(self, interface: object) -> List[Profile]:
+        return list(self._entries.get(interface, {}).values())
+
+    def local_profiles(self) -> Dict[str, Profile]:
+        return dict(self._entries.get(self.LOCAL, {}))
+
+    @property
+    def interfaces(self) -> List[object]:
+        return list(self._entries)
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(entries) for entries in self._entries.values())
+
+    # -- forwarding -----------------------------------------------------------------
+
+    def decide(self, interface: object, datagram: Datagram) -> ForwardDecision:
+        """Should ``datagram`` be forwarded on ``interface``, and with
+        which attributes retained?"""
+        needed: Set[str] = set()
+        wants_all = False
+        forward = False
+        for profile in self._entries.get(interface, {}).values():
+            if not profile.covers(datagram):
+                continue
+            forward = True
+            projection = profile.projection_for(datagram.stream)
+            if projection == ALL_ATTRIBUTES:
+                wants_all = True
+            else:
+                needed |= projection
+                # Keep attributes the downstream filters evaluate, or the
+                # profile could no longer recognise the datagram at the
+                # next hop after projection.
+                for flt in profile.filters_for(datagram.stream):
+                    needed |= flt.condition.referenced_terms()
+        if not forward:
+            return ForwardDecision(False)
+        if wants_all:
+            return ForwardDecision(True, None)
+        return ForwardDecision(True, frozenset(needed))
+
+    def local_deliveries(
+        self, datagram: Datagram
+    ) -> List[Tuple[str, Datagram]]:
+        """(subscription_id, projected datagram) for local matches."""
+        out: List[Tuple[str, Datagram]] = []
+        for sid, profile in self._entries.get(self.LOCAL, {}).items():
+            projected = profile.apply(datagram)
+            if projected is not None:
+                out.append((sid, projected))
+        return out

@@ -1,0 +1,107 @@
+"""Command-line interface.
+
+::
+
+    python -m repro experiments [--full]   # regenerate Table 1, Fig 3, Fig 4
+    python -m repro table1 [--items N]     # the Table 1 verification only
+    python -m repro fig3  [--items N]      # the Figure 3 measurement only
+    python -m repro fig4  [--full]         # the Figure 4 sweep only
+    python -m repro demo                   # the quickstart scenario + monitor
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "COSMOS reproduction: content-based networking for distributed "
+            "stream processing (Zhou et al., ICDE 2008)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiments", help="run every experiment and print reports")
+    exp.add_argument("--full", action="store_true", help="paper-scale Figure 4 sweep")
+
+    t1 = sub.add_parser("table1", help="Table 1: representative query and split")
+    t1.add_argument("--items", type=int, default=300, help="auctions to replay")
+
+    f3 = sub.add_parser("fig3", help="Figure 3: shared vs non-shared delivery")
+    f3.add_argument("--items", type=int, default=200, help="auctions to replay")
+
+    f4 = sub.add_parser("fig4", help="Figure 4: grouping performance sweep")
+    f4.add_argument("--full", action="store_true", help="paper-scale parameters")
+
+    sub.add_parser("demo", help="run the quickstart scenario with a status report")
+    return parser
+
+
+def _cmd_demo() -> int:
+    import random
+
+    from repro.overlay import DisseminationTree, barabasi_albert
+    from repro.system import CosmosSystem, SystemMonitor
+    from repro.workload import (
+        QueryWorkload,
+        SensorScopeReplayer,
+        WorkloadConfig,
+        sensorscope_catalog,
+    )
+
+    rng = random.Random(1)
+    catalog = sensorscope_catalog(8, rng=random.Random(1))
+    topology = barabasi_albert(60, 2, rng)
+    tree = DisseminationTree.minimum_spanning(topology)
+    system = CosmosSystem(tree, processor_nodes=[0, 1], topology=topology)
+    for index, schema in enumerate(sorted(catalog, key=lambda s: s.name)):
+        system.add_source(schema, 10 + index)
+    workload = QueryWorkload(
+        catalog, WorkloadConfig(skew=1.5, join_fraction=0.0, seed=2)
+    )
+    for query in workload.generate(40):
+        system.submit(query, user_node=rng.randrange(60))
+    feed = SensorScopeReplayer(catalog, random.Random(3)).feed(20.0)
+    delivered = system.replay(feed)
+    print(f"replayed {len(feed)} tuples, delivered {delivered} results\n")
+    print(SystemMonitor(system).report())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "experiments":
+        from repro.experiments.runner import main as run_all
+
+        return run_all(["--full"] if args.full else [])
+    if args.command == "table1":
+        from repro.experiments.runner import table1_report
+        from repro.experiments.table1 import run_table1
+
+        print(table1_report(run_table1(args.items)))
+        return 0
+    if args.command == "fig3":
+        from repro.experiments.fig3 import run_fig3
+        from repro.experiments.runner import fig3_report
+
+        print(fig3_report(run_fig3(args.items)))
+        return 0
+    if args.command == "fig4":
+        from repro.experiments.fig4 import Fig4Config, run_fig4
+        from repro.experiments.runner import fig4_report
+
+        config = Fig4Config.paper_scale() if args.full else None
+        print(fig4_report(run_fig4(config)))
+        return 0
+    if args.command == "demo":
+        return _cmd_demo()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Containment of continuous queries (section 4).
+
+Definition 1: ``q1 ⊑ q2`` iff for every stream instance S and every
+application time instant τ, ``q1(S, τ) ⊆ q2(S, τ)``.  As in the paper's
+running example (q1, q2 ⊑ q3 of Table 1), the subset relation is taken
+*modulo projection*: every q1 result tuple must be the projection of a
+q2 result tuple, so that q1's results can be reconstructed from q2's
+result stream by the CBN's filtering/projection machinery alone.
+
+The decision procedure follows the paper exactly:
+
+* **Lemma 1** fixes the pairing semantics of window joins: tuples
+  ``t1`` (window ``T1``) and ``t2`` (window ``T2``) produce a join
+  result iff they satisfy the join predicates and
+  ``-T1 <= t1.timestamp - t2.timestamp <= T2``.
+* **Theorem 1** (select-project-join): ``Q1 ⊑ Q2`` if
+  (1) ``Q1^inf ⊑ Q2^inf`` and (2) every window of Q1 is at most the
+  corresponding window of Q2.
+* **Theorem 2** (aggregates): ``Q1 ⊑ Q2`` if (1) ``Q1^inf ⊑ Q2^inf``
+  and (2) the corresponding windows are *equal* (window size changes
+  aggregate values, not just their set).
+
+``Q^inf`` containment for the conjunctive fragment reduces to
+predicate implication plus projection inclusion; it inherits the
+soundness (not completeness) of
+:meth:`repro.cql.predicates.Conjunction.implies`.  All checks
+canonicalise both queries first, so alias choices never matter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.cql.ast import Aggregate, ContinuousQuery, QueryError
+from repro.cql.schema import Catalog
+
+
+def _canonical_pair(
+    q1: ContinuousQuery, q2: ContinuousQuery, catalog: Catalog
+) -> Optional[Tuple[ContinuousQuery, ContinuousQuery]]:
+    """Canonicalise both queries; ``None`` when they cannot be compared."""
+    if q1.has_self_join or q2.has_self_join:
+        return None
+    c1 = q1.canonical(catalog)
+    c2 = q2.canonical(catalog)
+    if set(c1.stream_names) != set(c2.stream_names):
+        return None
+    return c1, c2
+
+
+def _aggregate_signature(query: ContinuousQuery) -> Tuple:
+    """Grouping attributes + aggregate list, for Theorem 2's side
+    condition that compared aggregate queries compute the same thing."""
+    aggs = tuple(
+        (agg.func, agg.arg.key if agg.arg is not None else None)
+        for agg in query.aggregates
+    )
+    groups = tuple(sorted(attr.key for attr in query.group_by))
+    return groups, aggs
+
+
+def unbounded_contains(
+    q1: ContinuousQuery, q2: ContinuousQuery, catalog: Catalog
+) -> bool:
+    """``Q1^inf ⊑ Q2^inf``: containment ignoring windows.
+
+    For the conjunctive fragment: same canonical stream set, q1's
+    predicate implies q2's, and q1's output attributes are a subset of
+    q2's (projection-modulo containment).  Aggregate queries must also
+    share grouping attributes and aggregate list.
+    """
+    pair = _canonical_pair(q1, q2, catalog)
+    if pair is None:
+        return False
+    c1, c2 = pair
+    if c1.is_aggregate != c2.is_aggregate:
+        return False
+    if c1.is_aggregate and _aggregate_signature(c1) != _aggregate_signature(c2):
+        return False
+    if not c1.predicate.implies(c2.predicate):
+        return False
+    if c1.is_aggregate and not _aggregate_filters_compatible(c1, c2):
+        return False
+    out1 = set(c1.output_attribute_names(catalog))
+    out2 = set(c2.output_attribute_names(catalog))
+    return out1 <= out2
+
+
+def _aggregate_filters_compatible(
+    c1: ContinuousQuery, c2: ContinuousQuery
+) -> bool:
+    """Aggregate-specific side condition on the selection predicates.
+
+    A selection on a *grouping* attribute commutes with the aggregation
+    (it only removes whole groups), so it may differ between contained
+    and containing query.  A selection on any other attribute changes
+    the aggregate *values*; those parts of the predicates must be
+    equivalent or the result rows of ``c1`` simply do not appear in
+    ``c2``'s result stream.
+    """
+    group_keys = {attr.key for attr in c1.group_by}
+    terms = (
+        c1.predicate.referenced_terms() | c2.predicate.referenced_terms()
+    ) - group_keys
+    rest1 = c1.predicate.restrict_to(terms)
+    rest2 = c2.predicate.restrict_to(terms)
+    return rest1.equivalent(rest2)
+
+
+def window_vector(query: ContinuousQuery) -> Dict[str, float]:
+    """Canonical stream name -> window size (assumes no self-join)."""
+    return {ref.stream: ref.window.size for ref in query.streams}
+
+
+def contains(
+    q1: ContinuousQuery, q2: ContinuousQuery, catalog: Catalog
+) -> bool:
+    """Is ``q1`` contained by ``q2`` (``q1 ⊑ q2``, Definition 1)?
+
+    Dispatches to Theorem 1 (SPJ) or Theorem 2 (aggregates).
+    """
+    pair = _canonical_pair(q1, q2, catalog)
+    if pair is None:
+        return False
+    c1, c2 = pair
+    if not unbounded_contains(c1, c2, catalog):
+        return False
+    w1 = window_vector(c1)
+    w2 = window_vector(c2)
+    if c1.is_aggregate:
+        # Theorem 2 condition (2): equal windows.
+        return all(w1[stream] == w2[stream] for stream in w1)
+    # Theorem 1 condition (2): every window of Q1 at most Q2's.
+    return all(w1[stream] <= w2[stream] for stream in w1)
+
+
+def equivalent(
+    q1: ContinuousQuery, q2: ContinuousQuery, catalog: Catalog
+) -> bool:
+    """Mutual containment (same result streams, modulo projection order)."""
+    return contains(q1, q2, catalog) and contains(q2, q1, catalog)

@@ -1,0 +1,256 @@
+"""Result-stream rate estimation: the C(q) of section 4.
+
+The benefit of rewriting a query group into one representative query is
+estimated as ``sum_i C(q_i) - C(q)`` where ``C(q)`` is the estimated
+rate (bytes per second) of the result stream of ``q``.  This module
+implements that estimator with textbook System-R style assumptions:
+
+* attribute values uniform over the schema-declared domain;
+* independent predicates (selectivities multiply);
+* equijoin selectivity ``1 / max(V(a), V(b))`` over the attributes'
+  domain sizes;
+* a window join of streams with (filtered) arrival rates ``r_i`` and
+  window sizes ``T_i`` produces ``(prod_i r_i) * (sum_i prod_{j != i}
+  T_j) * join_selectivity`` result tuples per second (every arrival on
+  stream *i* meets the windowed contents of the other streams).
+
+``[Now]`` windows are priced with a configurable epsilon (tuples are
+simultaneous within one application tick) and unbounded windows are
+capped at a configurable horizon so estimates stay finite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cql.ast import ContinuousQuery
+from repro.cql.predicates import AttrRef, Conjunction, Interval
+from repro.cql.schema import Attribute, Catalog, SchemaError
+
+
+@dataclass
+class CostModel:
+    """Estimator for result-stream rates (bytes/second).
+
+    Parameters
+    ----------
+    now_epsilon:
+        Effective size (seconds) of a ``[Now]`` window: tuples count as
+        simultaneous within one application tick.
+    horizon:
+        Cap (seconds) applied to unbounded windows.
+    default_equality_selectivity:
+        Selectivity of an equality on an attribute without a declared
+        finite domain.
+    default_timestamp_width:
+        Wire width of the implicit per-stream timestamp attribute.
+    """
+
+    now_epsilon: float = 1.0
+    horizon: float = 86400.0
+    default_equality_selectivity: float = 0.01
+    default_timestamp_width: int = 8
+
+    # -- public API -------------------------------------------------------------
+
+    def result_rate(self, query: ContinuousQuery, catalog: Catalog) -> float:
+        """Estimated bytes/second of the result stream of ``query``."""
+        tuple_rate = self.result_tuple_rate(query, catalog)
+        width = self.result_width(query, catalog)
+        return tuple_rate * width
+
+    def result_tuple_rate(self, query: ContinuousQuery, catalog: Catalog) -> float:
+        """Estimated result tuples/second."""
+        closed = query.predicate.closure()
+        filtered_rates: List[float] = []
+        windows: List[float] = []
+        for ref in query.streams:
+            schema = catalog.get(ref.stream)
+            sel = self.stream_selectivity(closed, ref.name, ref.stream, catalog)
+            filtered_rates.append(schema.rate * sel)
+            windows.append(self.effective_window(ref.window.size))
+        if query.is_aggregate:
+            # One updated group row per qualifying arrival.
+            return filtered_rates[0]
+        if len(query.streams) == 1:
+            return filtered_rates[0]
+        join_sel = self.join_selectivity(query, catalog)
+        rate_product = math.prod(filtered_rates)
+        window_sum = 0.0
+        for i in range(len(windows)):
+            others = math.prod(w for j, w in enumerate(windows) if j != i)
+            window_sum += others
+        return rate_product * window_sum * join_sel
+
+    def result_width(self, query: ContinuousQuery, catalog: Catalog) -> float:
+        """Wire width (bytes) of one result tuple."""
+        width = 0.0
+        if query.is_aggregate:
+            for attr in query.group_by:
+                width += self._attribute_width(query, attr, catalog)
+            width += 8.0 * len(query.aggregates)
+            return width
+        for attr in query.projected_attributes(catalog):
+            width += self._attribute_width(query, attr, catalog)
+        return width
+
+    def source_flow_rate(
+        self, query: ContinuousQuery, stream: str, catalog: Catalog
+    ) -> float:
+        """Bytes/second of one source flow feeding ``query``.
+
+        The flow is filtered by the query's single-stream selections and
+        projected to the attributes the query references on that stream
+        (what a source profile admits — also what placement-optimised
+        unicast systems ship).
+        """
+        canonical = query.canonical(catalog)
+        schema = catalog.get(stream)
+        selectivity = self.stream_selectivity(
+            canonical.predicate.closure(), stream, stream, catalog
+        )
+        needed = {
+            attr.name
+            for attr in canonical.projected_attributes(catalog)
+            if attr.qualifier == stream and schema.has_attribute(attr.name)
+        }
+        for term in canonical.predicate.referenced_terms():
+            qualifier, __, name = term.partition(".")
+            if qualifier == stream and schema.has_attribute(name):
+                needed.add(name)
+        return schema.rate * selectivity * schema.width_of(needed)
+
+    # -- components ------------------------------------------------------------------
+
+    def effective_window(self, size: float) -> float:
+        """Window size as priced by the model (epsilon/horizon applied)."""
+        if math.isinf(size):
+            return self.horizon
+        return max(size, self.now_epsilon)
+
+    def stream_selectivity(
+        self,
+        predicate: Conjunction,
+        qualifier: str,
+        stream: str,
+        catalog: Catalog,
+    ) -> float:
+        """Combined selectivity of per-attribute constraints on one stream.
+
+        Only interval/exclusion constraints on ``qualifier``-prefixed
+        terms participate; join predicates are priced separately.
+        """
+        schema = catalog.get(stream)
+        selectivity = 1.0
+        prefix = f"{qualifier}."
+        for term, interval in predicate.intervals.items():
+            if not term.startswith(prefix):
+                continue
+            attr_name = term[len(prefix):]
+            attribute = self._lookup_attribute(schema, attr_name)
+            selectivity *= self.interval_selectivity(interval, attribute)
+        for term, excluded in predicate.excluded.items():
+            if not term.startswith(prefix):
+                continue
+            attr_name = term[len(prefix):]
+            attribute = self._lookup_attribute(schema, attr_name)
+            eq = self.equality_selectivity(attribute)
+            selectivity *= max(0.0, 1.0 - eq * len(excluded))
+        return selectivity
+
+    def interval_selectivity(
+        self, interval: Interval, attribute: Optional[Attribute]
+    ) -> float:
+        """Fraction of an attribute's domain an interval admits."""
+        if interval.is_empty:
+            return 0.0
+        if interval.is_point:
+            return self.equality_selectivity(attribute)
+        if (
+            attribute is None
+            or attribute.lo is None
+            or attribute.hi is None
+            or not attribute.is_numeric
+        ):
+            # Unknown domain: half per bounded side, textbook default.
+            bounded_sides = (interval.lo is not None) + (interval.hi is not None)
+            return 0.5 ** bounded_sides
+        domain_lo, domain_hi = attribute.lo, attribute.hi
+        length = domain_hi - domain_lo
+        if length <= 0:
+            return 1.0
+        lo = domain_lo if interval.lo is None else max(interval.lo, domain_lo)
+        hi = domain_hi if interval.hi is None else min(interval.hi, domain_hi)
+        if isinstance(lo, str) or isinstance(hi, str):
+            return 1.0
+        if hi <= lo:
+            # Degenerate overlap: at most a point of a continuous domain.
+            return self.equality_selectivity(attribute) if hi == lo else 0.0
+        return (hi - lo) / length
+
+    def equality_selectivity(self, attribute: Optional[Attribute]) -> float:
+        """Selectivity of ``attr = constant``."""
+        size = self._domain_size(attribute)
+        if size is None:
+            return self.default_equality_selectivity
+        return 1.0 / size
+
+    def join_selectivity(self, query: ContinuousQuery, catalog: Catalog) -> float:
+        """Combined selectivity of the query's equijoin links."""
+        selectivity = 1.0
+        for a, b in query.predicate.links:
+            size_a = self._term_domain_size(query, a, catalog)
+            size_b = self._term_domain_size(query, b, catalog)
+            sizes = [s for s in (size_a, size_b) if s is not None]
+            if sizes:
+                selectivity *= 1.0 / max(sizes)
+            else:
+                selectivity *= self.default_equality_selectivity
+        return selectivity
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _attribute_width(
+        self, query: ContinuousQuery, attr: AttrRef, catalog: Catalog
+    ) -> float:
+        if attr.qualifier is None:
+            return float(self.default_timestamp_width)
+        ref = query.stream_ref(attr.qualifier)
+        schema = catalog.get(ref.stream)
+        attribute = self._lookup_attribute(schema, attr.name)
+        if attribute is None:
+            return float(self.default_timestamp_width)
+        return float(attribute.byte_width)
+
+    def _term_domain_size(
+        self, query: ContinuousQuery, term: str, catalog: Catalog
+    ) -> Optional[float]:
+        attr = AttrRef.parse(term)
+        if attr.qualifier is None:
+            return None
+        try:
+            ref = query.stream_ref(attr.qualifier)
+            schema = catalog.get(ref.stream)
+        except Exception:
+            return None
+        return self._domain_size(self._lookup_attribute(schema, attr.name))
+
+    @staticmethod
+    def _lookup_attribute(schema, name: str) -> Optional[Attribute]:
+        if schema.has_attribute(name):
+            return schema.attribute(name)
+        if name == "timestamp":
+            return Attribute("timestamp", "timestamp")
+        return None
+
+    @staticmethod
+    def _domain_size(attribute: Optional[Attribute]) -> Optional[float]:
+        if attribute is None or attribute.lo is None or attribute.hi is None:
+            return None
+        if not attribute.is_numeric:
+            return None
+        if attribute.type == "int":
+            return float(int(attribute.hi) - int(attribute.lo) + 1)
+        return None

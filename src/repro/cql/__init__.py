@@ -1,0 +1,57 @@
+"""CQL-like continuous query language substrate.
+
+COSMOS accepts user queries written in an SQL-like continuous query
+language modelled on CQL (the Stanford STREAM language).  This package
+provides the pieces every other layer builds on:
+
+* :mod:`repro.cql.schema` -- attribute types, stream schemas and the
+  stream catalog.
+* :mod:`repro.cql.predicates` -- the predicate algebra (atomic
+  constraints, conjunctions, implication and satisfiability tests) used
+  both by the content-based network filters and by the query-containment
+  machinery of the query layer.
+* :mod:`repro.cql.ast` -- the query abstract syntax tree: windowed
+  stream references, select-project-join queries and windowed
+  aggregates.
+* :mod:`repro.cql.lexer` / :mod:`repro.cql.parser` -- the SQL-like
+  surface syntax (``SELECT .. FROM S [Range 3 Hour] .. WHERE ..``).
+* :mod:`repro.cql.text` -- rendering an AST back to CQL text.
+"""
+
+from repro.cql.ast import (
+    Aggregate,
+    ContinuousQuery,
+    StreamRef,
+    Window,
+    NOW,
+    UNBOUNDED,
+)
+from repro.cql.parser import parse_query
+from repro.cql.predicates import (
+    AttrRef,
+    Comparison,
+    Conjunction,
+    Interval,
+    JoinPredicate,
+)
+from repro.cql.schema import Attribute, Catalog, StreamSchema
+from repro.cql.text import to_cql
+
+__all__ = [
+    "Aggregate",
+    "Attribute",
+    "AttrRef",
+    "Catalog",
+    "Comparison",
+    "Conjunction",
+    "ContinuousQuery",
+    "Interval",
+    "JoinPredicate",
+    "NOW",
+    "StreamRef",
+    "StreamSchema",
+    "UNBOUNDED",
+    "Window",
+    "parse_query",
+    "to_cql",
+]

@@ -1,0 +1,377 @@
+"""Abstract syntax of continuous queries.
+
+The fragment implemented is the one the paper's query layer reasons
+about: select-project-join queries over windowed streams, optionally
+with grouped aggregation, written in a CQL-like surface syntax:
+
+.. code-block:: sql
+
+    SELECT O.*, C.buyerID, C.timestamp
+    FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C
+    WHERE O.itemID = C.itemID
+
+Windows are the time-based sliding windows of CQL: ``[Range T]``,
+``[Now]`` (= ``Range 0``) and ``[Unbounded]`` (= ``Range`` infinity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.cql.predicates import AttrRef, Conjunction, PredicateError
+from repro.cql.schema import Catalog, SchemaError, StreamSchema
+
+
+class QueryError(Exception):
+    """Raised for malformed queries (unknown streams, bad projections)."""
+
+
+# ---------------------------------------------------------------------------
+# Windows
+# ---------------------------------------------------------------------------
+
+#: Time-unit multipliers to seconds accepted in window specifications.
+TIME_UNITS = {
+    "second": 1.0,
+    "seconds": 1.0,
+    "minute": 60.0,
+    "minutes": 60.0,
+    "hour": 3600.0,
+    "hours": 3600.0,
+    "day": 86400.0,
+    "days": 86400.0,
+}
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """A time-based sliding window of ``size`` seconds.
+
+    ``w(T)`` defines, at every application time instant, the temporal
+    relation of tuples that arrived within the last ``T`` time units.
+    ``Window(0)`` is CQL's ``[Now]``; ``Window(math.inf)`` is
+    ``[Unbounded]``.
+    """
+
+    size: float
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise QueryError(f"window size must be non-negative, got {self.size}")
+
+    @property
+    def is_now(self) -> bool:
+        return self.size == 0
+
+    @property
+    def is_unbounded(self) -> bool:
+        return math.isinf(self.size)
+
+    def contains(self, other: "Window") -> bool:
+        """Window containment: every tuple visible in ``other`` is visible here."""
+        return self.size >= other.size
+
+    def __str__(self) -> str:
+        if self.is_now:
+            return "[Now]"
+        if self.is_unbounded:
+            return "[Unbounded]"
+        for unit, mult in (("Day", 86400.0), ("Hour", 3600.0), ("Minute", 60.0)):
+            if self.size % mult == 0:
+                count = int(self.size // mult)
+                return f"[Range {count} {unit}]"
+        return f"[Range {self.size:g} Second]"
+
+
+NOW = Window(0.0)
+UNBOUNDED = Window(math.inf)
+
+
+# ---------------------------------------------------------------------------
+# Stream references and select items
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamRef:
+    """One entry of the FROM clause: a stream, its window and its alias."""
+
+    stream: str
+    window: Window = UNBOUNDED
+    alias: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """The name predicates use to qualify this stream's attributes."""
+        return self.alias if self.alias is not None else self.stream
+
+    def __str__(self) -> str:
+        alias = f" {self.alias}" if self.alias else ""
+        return f"{self.stream} {self.window}{alias}"
+
+
+@dataclass(frozen=True)
+class Star:
+    """``Q.*`` in a SELECT list (all attributes of one stream reference)."""
+
+    qualifier: str
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.*"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate select item, e.g. ``AVG(S.temperature) AS avg_temp``."""
+
+    func: str
+    arg: Optional[AttrRef]  # None only for COUNT(*)
+    output_name: Optional[str] = None
+
+    FUNCS = ("count", "sum", "avg", "min", "max")
+
+    def __post_init__(self) -> None:
+        if self.func not in self.FUNCS:
+            raise QueryError(f"unknown aggregate function {self.func!r}")
+        if self.arg is None and self.func != "count":
+            raise QueryError(f"{self.func.upper()}(*) is not supported")
+
+    @property
+    def name(self) -> str:
+        """The output attribute name of this aggregate."""
+        if self.output_name:
+            return self.output_name
+        arg = "star" if self.arg is None else self.arg.key.replace(".", "_")
+        return f"{self.func}_{arg}"
+
+    def __str__(self) -> str:
+        arg = "*" if self.arg is None else self.arg.key
+        rendered = f"{self.func.upper()}({arg})"
+        if self.output_name:
+            rendered += f" AS {self.output_name}"
+        return rendered
+
+
+SelectItem = Union[Star, AttrRef, Aggregate]
+
+
+# ---------------------------------------------------------------------------
+# Continuous queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContinuousQuery:
+    """A continuous select-project-join (optionally aggregate) query.
+
+    ``predicate`` is a :class:`~repro.cql.predicates.Conjunction` over
+    qualified terms (``"O.itemID"``): it bundles the selection
+    predicates, the equijoin predicates and any explicit
+    timestamp-difference constraints of the WHERE clause.
+    """
+
+    select_items: Tuple[SelectItem, ...]
+    streams: Tuple[StreamRef, ...]
+    predicate: Conjunction = field(default_factory=Conjunction.true)
+    group_by: Tuple[AttrRef, ...] = ()
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.streams:
+            raise QueryError("a query must reference at least one stream")
+        if not self.select_items:
+            raise QueryError("a query must select at least one item")
+        names = [ref.name for ref in self.streams]
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate stream reference names in FROM: {names}")
+        aggregates = [i for i in self.select_items if isinstance(i, Aggregate)]
+        if aggregates and any(
+            isinstance(i, Star) for i in self.select_items
+        ):
+            raise QueryError("cannot mix aggregates with Q.* select items")
+
+    # -- basic structure ---------------------------------------------------------
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(isinstance(item, Aggregate) for item in self.select_items)
+
+    @property
+    def aggregates(self) -> Tuple[Aggregate, ...]:
+        return tuple(i for i in self.select_items if isinstance(i, Aggregate))
+
+    @property
+    def stream_names(self) -> Tuple[str, ...]:
+        """Underlying stream names, in FROM order."""
+        return tuple(ref.stream for ref in self.streams)
+
+    @property
+    def reference_names(self) -> Tuple[str, ...]:
+        """Qualifier names (aliases) in FROM order."""
+        return tuple(ref.name for ref in self.streams)
+
+    def stream_ref(self, qualifier: str) -> StreamRef:
+        for ref in self.streams:
+            if ref.name == qualifier:
+                return ref
+        raise QueryError(f"query has no stream reference named {qualifier!r}")
+
+    @property
+    def has_self_join(self) -> bool:
+        return len(set(self.stream_names)) != len(self.stream_names)
+
+    # -- resolution against a catalog -----------------------------------------------
+
+    def validate(self, catalog: Catalog) -> None:
+        """Check every stream and attribute reference against ``catalog``."""
+        for ref in self.streams:
+            if ref.stream not in catalog:
+                raise QueryError(f"unknown stream {ref.stream!r}")
+        for attr in self.referenced_attributes():
+            self._check_attr(attr, catalog)
+        for attr in self.group_by:
+            self._check_attr(attr, catalog)
+
+    def _check_attr(self, attr: AttrRef, catalog: Catalog) -> None:
+        if attr.qualifier is None:
+            raise QueryError(f"attribute {attr.name!r} must be qualified")
+        ref = self.stream_ref(attr.qualifier)
+        schema = catalog.get(ref.stream)
+        if not schema.has_attribute(attr.name):
+            raise QueryError(
+                f"stream {ref.stream!r} has no attribute {attr.name!r}"
+            )
+
+    def referenced_attributes(self) -> List[AttrRef]:
+        """All attribute references in SELECT and WHERE (not Q.* expansions)."""
+        out: List[AttrRef] = []
+        for item in self.select_items:
+            if isinstance(item, AttrRef):
+                out.append(item)
+            elif isinstance(item, Aggregate) and item.arg is not None:
+                out.append(item.arg)
+        for term in self.predicate.referenced_terms():
+            out.append(AttrRef.parse(term))
+        out.extend(self.group_by)
+        return out
+
+    def projected_attributes(self, catalog: Catalog) -> List[AttrRef]:
+        """The SELECT list with every ``Q.*`` expanded, in output order.
+
+        Aggregate queries have no projected source attributes in this
+        sense (their output attributes are aggregate/grouping columns);
+        for them this returns the grouping attributes followed by the
+        aggregate argument attributes.
+        """
+        out: List[AttrRef] = []
+        if self.is_aggregate:
+            out.extend(self.group_by)
+            for agg in self.aggregates:
+                if agg.arg is not None:
+                    out.append(agg.arg)
+            return out
+        for item in self.select_items:
+            if isinstance(item, Star):
+                ref = self.stream_ref(item.qualifier)
+                schema = catalog.get(ref.stream)
+                for attr_name in schema.attribute_names:
+                    out.append(AttrRef(item.qualifier, attr_name))
+            elif isinstance(item, AttrRef):
+                out.append(item)
+        return out
+
+    def output_attribute_names(self, catalog: Catalog) -> List[str]:
+        """Names of the attributes of this query's result stream.
+
+        SPJ queries name their outputs with qualified source names
+        (``"O.itemID"``); aggregate queries use grouping attribute names
+        plus aggregate output names.
+        """
+        if self.is_aggregate:
+            names = [attr.key for attr in self.group_by]
+            names.extend(agg.name for agg in self.aggregates)
+            return names
+        return [attr.key for attr in self.projected_attributes(catalog)]
+
+    # -- canonicalisation -------------------------------------------------------------
+
+    def canonical(self, catalog: Catalog) -> "ContinuousQuery":
+        """Rewrite the query so every qualifier is the stream's own name.
+
+        Canonicalisation makes queries from different users directly
+        comparable (the containment and merging machinery assumes it).
+        Self-joins cannot be canonicalised this way and raise
+        :class:`QueryError`; the grouping optimizer simply never groups
+        them.
+        """
+        if self.has_self_join:
+            raise QueryError("cannot canonicalise a self-join query")
+        if all(ref.alias is None for ref in self.streams):
+            return self  # already canonical
+        mapping: Dict[str, str] = {}
+        term_mapping: Dict[str, str] = {}
+        for ref in self.streams:
+            mapping[ref.name] = ref.stream
+            schema = catalog.get(ref.stream) if ref.stream in catalog else None
+            attr_names: Iterable[str]
+            if schema is not None:
+                attr_names = schema.attribute_names
+            else:
+                attr_names = [
+                    AttrRef.parse(t).name
+                    for t in self.predicate.referenced_terms()
+                    if AttrRef.parse(t).qualifier == ref.name
+                ]
+            for attr_name in attr_names:
+                term_mapping[f"{ref.name}.{attr_name}"] = f"{ref.stream}.{attr_name}"
+
+        def remap_attr(attr: AttrRef) -> AttrRef:
+            if attr.qualifier in mapping:
+                return AttrRef(mapping[attr.qualifier], attr.name)
+            return attr
+
+        select_items: List[SelectItem] = []
+        for item in self.select_items:
+            if isinstance(item, Star):
+                select_items.append(Star(mapping.get(item.qualifier, item.qualifier)))
+            elif isinstance(item, AttrRef):
+                select_items.append(remap_attr(item))
+            else:
+                arg = remap_attr(item.arg) if item.arg is not None else None
+                select_items.append(Aggregate(item.func, arg, item.output_name))
+        streams = tuple(
+            StreamRef(ref.stream, ref.window, alias=None) for ref in self.streams
+        )
+        return ContinuousQuery(
+            select_items=tuple(select_items),
+            streams=streams,
+            predicate=self.predicate.rename(term_mapping),
+            group_by=tuple(remap_attr(a) for a in self.group_by),
+            name=self.name,
+        )
+
+    # -- window manipulation -------------------------------------------------------------
+
+    def with_windows(self, windows: Mapping[str, Window]) -> "ContinuousQuery":
+        """Return a copy with the windows of the named references replaced."""
+        streams = tuple(
+            StreamRef(ref.stream, windows.get(ref.name, ref.window), ref.alias)
+            for ref in self.streams
+        )
+        return ContinuousQuery(
+            self.select_items, streams, self.predicate, self.group_by, self.name
+        )
+
+    def unbounded(self) -> "ContinuousQuery":
+        """``Q^inf``: this query with every window set to infinity (Theorem 1/2)."""
+        return self.with_windows({ref.name: UNBOUNDED for ref in self.streams})
+
+    def window_of(self, qualifier: str) -> Window:
+        return self.stream_ref(qualifier).window
+
+    def __str__(self) -> str:
+        from repro.cql.text import to_cql
+
+        return to_cql(self)

@@ -1,0 +1,825 @@
+"""Predicate algebra shared by the CBN filters and the query layer.
+
+Both layers of COSMOS reason about the *same* class of predicates:
+
+* CBN datagram filters (section 3.1) are conjunctions of constraints on
+  the attribute values of a single stream's datagrams.
+* Query selection/join predicates (section 4) are conjunctions of
+  constraints over the attributes of the referenced streams, and query
+  containment reduces to implication between such conjunctions.
+
+To serve both, the algebra here is defined over generic string *terms*:
+the query layer uses qualified attribute names (``"O.timestamp"``), the
+CBN layer uses a datagram's attribute names directly.  A
+:class:`Conjunction` stores
+
+* one :class:`Interval` of allowed values per constrained term,
+* a set of excluded values (``!=``) per term,
+* equality links between terms (equijoin predicates ``a = b``), and
+* difference constraints ``lo <= a - b <= hi`` (the timestamp-window
+  constraints of Lemma 1).
+
+The implication test (:meth:`Conjunction.implies`) is *sound but not
+complete*: when it answers ``True`` the implication genuinely holds;
+a ``False`` answer may occasionally be a missed implication for exotic
+combinations of difference constraints.  This is the standard trade-off
+for subscription-subsumption checks in content-based networks and is
+safe for COSMOS: a missed implication only costs a merging opportunity,
+never correctness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+Value = Union[int, float, str]
+
+COMPARISON_OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+
+class PredicateError(Exception):
+    """Raised for malformed predicates (mixed types, bad operators)."""
+
+
+# ---------------------------------------------------------------------------
+# Intervals
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly half-open, possibly unbounded) interval of values.
+
+    ``lo is None`` means unbounded below, ``hi is None`` unbounded
+    above.  ``lo_strict``/``hi_strict`` mark open endpoints.  Values may
+    be numbers or strings (strings compare lexicographically), but a
+    single interval must not mix the two.
+    """
+
+    lo: Optional[Value] = None
+    hi: Optional[Value] = None
+    lo_strict: bool = False
+    hi_strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None:
+            if isinstance(self.lo, str) != isinstance(self.hi, str):
+                raise PredicateError(
+                    f"interval mixes string and numeric bounds: {self}"
+                )
+
+    # -- classification -----------------------------------------------------
+
+    @property
+    def is_universal(self) -> bool:
+        """True when the interval admits every value."""
+        return self.lo is None and self.hi is None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no value can satisfy the interval."""
+        if self.lo is None or self.hi is None:
+            return False
+        if self.lo > self.hi:
+            return True
+        if self.lo == self.hi and (self.lo_strict or self.hi_strict):
+            return True
+        return False
+
+    @property
+    def is_point(self) -> bool:
+        """True when exactly one value satisfies the interval."""
+        return (
+            self.lo is not None
+            and self.lo == self.hi
+            and not self.lo_strict
+            and not self.hi_strict
+        )
+
+    # -- membership and ordering ---------------------------------------------
+
+    def contains_value(self, value: Value) -> bool:
+        if self.lo is not None:
+            if isinstance(value, str) != isinstance(self.lo, str):
+                return False
+            if value < self.lo or (value == self.lo and self.lo_strict):
+                return False
+        if self.hi is not None:
+            if isinstance(value, str) != isinstance(self.hi, str):
+                return False
+            if value > self.hi or (value == self.hi and self.hi_strict):
+                return False
+        return True
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when every value of ``other`` lies inside ``self``."""
+        if other.is_empty:
+            return True
+        if self.lo is not None:
+            if other.lo is None:
+                return False
+            if other.lo < self.lo:
+                return False
+            if other.lo == self.lo and self.lo_strict and not other.lo_strict:
+                return False
+        if self.hi is not None:
+            if other.hi is None:
+                return False
+            if other.hi > self.hi:
+                return False
+            if other.hi == self.hi and self.hi_strict and not other.hi_strict:
+                return False
+        return True
+
+    # -- lattice operations ---------------------------------------------------
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Largest interval contained in both operands."""
+        lo, lo_strict = self.lo, self.lo_strict
+        if other.lo is not None and (
+            lo is None
+            or other.lo > lo
+            or (other.lo == lo and other.lo_strict)
+        ):
+            lo, lo_strict = other.lo, other.lo_strict
+        hi, hi_strict = self.hi, self.hi_strict
+        if other.hi is not None and (
+            hi is None
+            or other.hi < hi
+            or (other.hi == hi and other.hi_strict)
+        ):
+            hi, hi_strict = other.hi, other.hi_strict
+        return Interval(lo, hi, lo_strict, hi_strict)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both operands (convex hull)."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        if self.lo is None or other.lo is None:
+            lo, lo_strict = None, False
+        elif self.lo < other.lo:
+            lo, lo_strict = self.lo, self.lo_strict
+        elif other.lo < self.lo:
+            lo, lo_strict = other.lo, other.lo_strict
+        else:
+            lo, lo_strict = self.lo, self.lo_strict and other.lo_strict
+        if self.hi is None or other.hi is None:
+            hi, hi_strict = None, False
+        elif self.hi > other.hi:
+            hi, hi_strict = self.hi, self.hi_strict
+        elif other.hi > self.hi:
+            hi, hi_strict = other.hi, other.hi_strict
+        else:
+            hi, hi_strict = self.hi, self.hi_strict and other.hi_strict
+        return Interval(lo, hi, lo_strict, hi_strict)
+
+    def shift(self, delta: float) -> "Interval":
+        """Interval translated by ``delta`` (numeric intervals only)."""
+        lo = None if self.lo is None else self.lo + delta
+        hi = None if self.hi is None else self.hi + delta
+        return Interval(lo, hi, self.lo_strict, self.hi_strict)
+
+    def negate(self) -> "Interval":
+        """The interval ``{-v : v in self}`` (numeric intervals only)."""
+        lo = None if self.hi is None else -self.hi
+        hi = None if self.lo is None else -self.lo
+        return Interval(lo, hi, self.hi_strict, self.lo_strict)
+
+    @staticmethod
+    def universal() -> "Interval":
+        return Interval()
+
+    @staticmethod
+    def point(value: Value) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def at_least(value: Value, strict: bool = False) -> "Interval":
+        return Interval(lo=value, lo_strict=strict)
+
+    @staticmethod
+    def at_most(value: Value, strict: bool = False) -> "Interval":
+        return Interval(hi=value, hi_strict=strict)
+
+    def __str__(self) -> str:
+        left = "(" if self.lo_strict else "["
+        right = ")" if self.hi_strict else "]"
+        lo = "-inf" if self.lo is None else repr(self.lo)
+        hi = "+inf" if self.hi is None else repr(self.hi)
+        return f"{left}{lo}, {hi}{right}"
+
+
+# ---------------------------------------------------------------------------
+# Atomic predicates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """A qualified attribute reference, e.g. ``O.timestamp``.
+
+    ``qualifier`` is the stream reference name (alias or stream name);
+    it may be ``None`` for already-flat attribute names such as those of
+    CBN datagrams.  :attr:`key` is the canonical term string used by the
+    predicate algebra.
+    """
+
+    qualifier: Optional[str]
+    name: str
+
+    @property
+    def key(self) -> str:
+        if self.qualifier is None:
+            return self.name
+        return f"{self.qualifier}.{self.name}"
+
+    @staticmethod
+    def parse(text: str) -> "AttrRef":
+        """Parse ``"O.timestamp"`` or a bare ``"temperature"``."""
+        if "." in text:
+            qualifier, __, name = text.partition(".")
+            return AttrRef(qualifier, name)
+        return AttrRef(None, text)
+
+    def __str__(self) -> str:
+        return self.key
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """An atomic comparison of a term against a constant: ``term op value``."""
+
+    term: str
+    op: str
+    value: Value
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise PredicateError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.term} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equality between two terms: ``left = right`` (equijoin)."""
+
+    left: str
+    right: str
+
+    def normalized(self) -> Tuple[str, str]:
+        return (self.left, self.right) if self.left <= self.right else (self.right, self.left)
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class DifferenceConstraint:
+    """A bound on the difference of two terms: ``left - right in interval``.
+
+    This is the shape of the window re-tightening constraints produced by
+    Lemma 1, e.g. ``-3h <= O.timestamp - C.timestamp <= 0``.
+    """
+
+    left: str
+    right: str
+    interval: Interval
+
+    def normalized(self) -> Tuple[Tuple[str, str], Interval]:
+        """Canonical orientation: terms in lexicographic order."""
+        if self.left <= self.right:
+            return (self.left, self.right), self.interval
+        return (self.right, self.left), self.interval.negate()
+
+    def __str__(self) -> str:
+        return f"{self.left} - {self.right} in {self.interval}"
+
+
+Atom = Union[Comparison, JoinPredicate, DifferenceConstraint]
+
+
+# ---------------------------------------------------------------------------
+# Conjunctions
+# ---------------------------------------------------------------------------
+
+
+class _UnionFind:
+    """Minimal union-find over hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[max(ra, rb)] = min(ra, rb)
+
+    def groups(self) -> Dict[str, Set[str]]:
+        out: Dict[str, Set[str]] = {}
+        for item in list(self._parent):
+            out.setdefault(self.find(item), set()).add(item)
+        return out
+
+
+class Conjunction:
+    """An immutable conjunction of atomic predicates over string terms.
+
+    The empty conjunction is the predicate ``TRUE``.  Construct from
+    atoms with :meth:`from_atoms`, combine with :meth:`and_`, weaken
+    with :meth:`hull`, compare with :meth:`implies`, and evaluate
+    against a value binding with :meth:`evaluate`.
+    """
+
+    __slots__ = ("_intervals", "_excluded", "_links", "_diffs")
+
+    def __init__(
+        self,
+        intervals: Optional[Mapping[str, Interval]] = None,
+        excluded: Optional[Mapping[str, FrozenSet[Value]]] = None,
+        links: Optional[Iterable[Tuple[str, str]]] = None,
+        diffs: Optional[Mapping[Tuple[str, str], Interval]] = None,
+    ) -> None:
+        self._intervals: Dict[str, Interval] = {
+            term: iv
+            for term, iv in (intervals or {}).items()
+            if not iv.is_universal
+        }
+        self._excluded: Dict[str, FrozenSet[Value]] = {
+            term: vals for term, vals in (excluded or {}).items() if vals
+        }
+        self._links: FrozenSet[Tuple[str, str]] = frozenset(
+            (a, b) if a <= b else (b, a) for a, b in (links or ()) if a != b
+        )
+        self._diffs: Dict[Tuple[str, str], Interval] = {
+            pair: iv
+            for pair, iv in (diffs or {}).items()
+            if not iv.is_universal
+        }
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def true() -> "Conjunction":
+        """The empty conjunction (always satisfied)."""
+        return Conjunction()
+
+    @staticmethod
+    def from_atoms(atoms: Iterable[Atom]) -> "Conjunction":
+        """Build a conjunction from comparison/join/difference atoms."""
+        intervals: Dict[str, Interval] = {}
+        excluded: Dict[str, Set[Value]] = {}
+        links: List[Tuple[str, str]] = []
+        diffs: Dict[Tuple[str, str], Interval] = {}
+        for atom in atoms:
+            if isinstance(atom, Comparison):
+                iv = _comparison_interval(atom)
+                if iv is None:
+                    excluded.setdefault(atom.term, set()).add(atom.value)
+                else:
+                    prev = intervals.get(atom.term, Interval.universal())
+                    intervals[atom.term] = prev.intersect(iv)
+            elif isinstance(atom, JoinPredicate):
+                links.append(atom.normalized())
+            elif isinstance(atom, DifferenceConstraint):
+                pair, iv = atom.normalized()
+                prev = diffs.get(pair, Interval.universal())
+                diffs[pair] = prev.intersect(iv)
+            else:
+                raise PredicateError(f"unknown atom type: {atom!r}")
+        return Conjunction(
+            intervals,
+            {term: frozenset(vals) for term, vals in excluded.items()},
+            links,
+            diffs,
+        )
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def intervals(self) -> Mapping[str, Interval]:
+        return dict(self._intervals)
+
+    @property
+    def excluded(self) -> Mapping[str, FrozenSet[Value]]:
+        return dict(self._excluded)
+
+    @property
+    def links(self) -> FrozenSet[Tuple[str, str]]:
+        return self._links
+
+    @property
+    def diffs(self) -> Mapping[Tuple[str, str], Interval]:
+        return dict(self._diffs)
+
+    @property
+    def is_true(self) -> bool:
+        """True when this conjunction is the trivial predicate ``TRUE``."""
+        return not (self._intervals or self._excluded or self._links or self._diffs)
+
+    def referenced_terms(self) -> Set[str]:
+        """All terms mentioned by any atom of this conjunction."""
+        terms: Set[str] = set(self._intervals) | set(self._excluded)
+        for a, b in self._links:
+            terms.update((a, b))
+        for a, b in self._diffs:
+            terms.update((a, b))
+        return terms
+
+    # -- combination ------------------------------------------------------------
+
+    def and_(self, other: "Conjunction") -> "Conjunction":
+        """Conjunction of both operands (tighter than each)."""
+        intervals = dict(self._intervals)
+        for term, iv in other._intervals.items():
+            intervals[term] = intervals.get(term, Interval.universal()).intersect(iv)
+        excluded: Dict[str, FrozenSet[Value]] = dict(self._excluded)
+        for term, vals in other._excluded.items():
+            excluded[term] = excluded.get(term, frozenset()) | vals
+        links = set(self._links) | set(other._links)
+        diffs = dict(self._diffs)
+        for pair, iv in other._diffs.items():
+            diffs[pair] = diffs.get(pair, Interval.universal()).intersect(iv)
+        return Conjunction(intervals, excluded, links, diffs)
+
+    def hull(self, other: "Conjunction") -> "Conjunction":
+        """A conjunction implied by *both* operands (their "loosening").
+
+        This is the merge step of representative-query composition:
+        per-term interval hulls, the intersection of the exclusion sets,
+        only the equality links present in both, and per-pair hulls of
+        the difference constraints.  The result is the tightest
+        conjunction in our fragment that both operands imply.
+        """
+        self_c, other_c = self.closure(), other.closure()
+        intervals: Dict[str, Interval] = {}
+        for term in set(self_c._intervals) & set(other_c._intervals):
+            intervals[term] = self_c._intervals[term].hull(other_c._intervals[term])
+        excluded: Dict[str, FrozenSet[Value]] = {}
+        for term in set(self_c._excluded) & set(other_c._excluded):
+            common = self_c._excluded[term] & other_c._excluded[term]
+            if common:
+                excluded[term] = common
+        links = self_c._links & other_c._links
+        diffs: Dict[Tuple[str, str], Interval] = {}
+        for pair in set(self_c._diffs) & set(other_c._diffs):
+            diffs[pair] = self_c._diffs[pair].hull(other_c._diffs[pair])
+        return Conjunction(intervals, excluded, links, diffs)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Conjunction":
+        """Rewrite every term through ``mapping`` (identity when absent)."""
+
+        def ren(term: str) -> str:
+            return mapping.get(term, term)
+
+        intervals = {ren(t): iv for t, iv in self._intervals.items()}
+        excluded = {ren(t): vals for t, vals in self._excluded.items()}
+        links = {(ren(a), ren(b)) for a, b in self._links}
+        diffs: Dict[Tuple[str, str], Interval] = {}
+        for (a, b), iv in self._diffs.items():
+            dc = DifferenceConstraint(ren(a), ren(b), iv)
+            pair, piv = dc.normalized()
+            diffs[pair] = diffs.get(pair, Interval.universal()).intersect(piv)
+        return Conjunction(intervals, excluded, links, diffs)
+
+    def restrict_to(self, terms: Iterable[str]) -> "Conjunction":
+        """Keep only atoms whose terms all belong to ``terms``."""
+        keep = set(terms)
+        intervals = {t: iv for t, iv in self._intervals.items() if t in keep}
+        excluded = {t: v for t, v in self._excluded.items() if t in keep}
+        links = {(a, b) for a, b in self._links if a in keep and b in keep}
+        diffs = {
+            pair: iv
+            for pair, iv in self._diffs.items()
+            if pair[0] in keep and pair[1] in keep
+        }
+        return Conjunction(intervals, excluded, links, diffs)
+
+    # -- semantic analysis --------------------------------------------------------
+
+    def closure(self) -> "Conjunction":
+        """Propagate constraints through equality links.
+
+        Every term in an equality class receives the intersection of all
+        class members' intervals and the union of their exclusions.
+        Difference constraints between members of one class intersect
+        with the point interval ``[0, 0]``.  The closure makes the
+        implication test markedly more complete (``R.A = S.B AND
+        R.A > 10`` then implies ``S.B > 10``).
+        """
+        if not self._links:
+            return self
+        uf = _UnionFind()
+        for a, b in self._links:
+            uf.union(a, b)
+        class_interval: Dict[str, Interval] = {}
+        class_excluded: Dict[str, Set[Value]] = {}
+        for term, iv in self._intervals.items():
+            root = uf.find(term)
+            prev = class_interval.get(root, Interval.universal())
+            class_interval[root] = prev.intersect(iv)
+        for term, vals in self._excluded.items():
+            root = uf.find(term)
+            class_excluded.setdefault(root, set()).update(vals)
+        intervals: Dict[str, Interval] = dict(self._intervals)
+        excluded: Dict[str, FrozenSet[Value]] = dict(self._excluded)
+        for root, members in uf.groups().items():
+            iv = class_interval.get(root)
+            vals = class_excluded.get(root)
+            for member in members:
+                if iv is not None:
+                    intervals[member] = intervals.get(
+                        member, Interval.universal()
+                    ).intersect(iv)
+                if vals:
+                    excluded[member] = excluded.get(member, frozenset()) | frozenset(vals)
+        diffs = dict(self._diffs)
+        for (a, b), iv in self._diffs.items():
+            if uf.find(a) == uf.find(b):
+                diffs[(a, b)] = iv.intersect(Interval.point(0))
+        return Conjunction(intervals, excluded, self._links, diffs)
+
+    def is_satisfiable(self) -> bool:
+        """Sound emptiness check for this conjunction.
+
+        Detects per-term empty intervals (after equality closure), point
+        intervals excluded by a ``!=``, difference constraints that are
+        empty or contradict the terms' value intervals, and equality
+        classes forced to incompatible constants.
+        """
+        closed = self.closure()
+        for term, iv in closed._intervals.items():
+            if iv.is_empty:
+                return False
+            if iv.is_point and iv.lo in closed._excluded.get(term, frozenset()):
+                return False
+        for (a, b), iv in closed._diffs.items():
+            if iv.is_empty:
+                return False
+            iv_a = closed._intervals.get(a)
+            iv_b = closed._intervals.get(b)
+            if iv_a is not None and iv_b is not None:
+                feasible = _difference_range(iv_a, iv_b)
+                if feasible is not None and feasible.intersect(iv).is_empty:
+                    return False
+        return True
+
+    def implies(self, other: "Conjunction") -> bool:
+        """Sound test that every binding satisfying ``self`` satisfies ``other``."""
+        if not self.is_satisfiable():
+            return True
+        mine = self.closure()
+        theirs = other.closure()
+        uf = _UnionFind()
+        for a, b in mine._links:
+            uf.union(a, b)
+        for term, needed in theirs._intervals.items():
+            have = mine._intervals.get(term, Interval.universal())
+            if not needed.contains_interval(have):
+                return False
+        for term, needed_vals in theirs._excluded.items():
+            have_iv = mine._intervals.get(term, Interval.universal())
+            have_vals = mine._excluded.get(term, frozenset())
+            for value in needed_vals:
+                if value in have_vals:
+                    continue
+                if not have_iv.contains_value(value):
+                    continue
+                return False
+        for a, b in theirs._links:
+            if uf.find(a) != uf.find(b):
+                return False
+        for (a, b), needed in theirs._diffs.items():
+            if not _diff_implied(mine, uf, a, b, needed):
+                return False
+        return True
+
+    def equivalent(self, other: "Conjunction") -> bool:
+        return self.implies(other) and other.implies(self)
+
+    def unimplied_atoms(self, atoms: Iterable[Atom]) -> List[Atom]:
+        """The subset of ``atoms`` this conjunction does *not* imply.
+
+        Equivalent to filtering with
+        ``self.implies(Conjunction.from_atoms([atom]))`` per atom, but
+        computes the closure and equality classes once — this is the
+        inner loop of residual computation during query merging.
+        """
+        if not self.is_satisfiable():
+            return []  # an unsatisfiable conjunction implies everything
+        mine = self.closure()
+        uf = _UnionFind()
+        for a, b in mine._links:
+            uf.union(a, b)
+        out: List[Atom] = []
+        for atom in atoms:
+            if not _atom_implied(mine, uf, atom):
+                out.append(atom)
+        return out
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(self, binding: Mapping[str, Value]) -> bool:
+        """Evaluate against a term->value binding.
+
+        A constraint whose term is missing from the binding fails (the
+        CBN treats a datagram lacking a constrained attribute as not
+        covered).
+        """
+        for term, iv in self._intervals.items():
+            if term not in binding or not iv.contains_value(binding[term]):
+                return False
+        for term, vals in self._excluded.items():
+            if term not in binding or binding[term] in vals:
+                return False
+        for a, b in self._links:
+            if a not in binding or b not in binding or binding[a] != binding[b]:
+                return False
+        for (a, b), iv in self._diffs.items():
+            if a not in binding or b not in binding:
+                return False
+            try:
+                diff = binding[a] - binding[b]  # type: ignore[operator]
+            except TypeError:
+                return False
+            if not iv.contains_value(diff):
+                return False
+        return True
+
+    # -- misc -------------------------------------------------------------------------
+
+    def atoms(self) -> List[Atom]:
+        """Decompose back into a list of atomic predicates."""
+        out: List[Atom] = []
+        for term, iv in sorted(self._intervals.items()):
+            out.extend(_interval_comparisons(term, iv))
+        for term, vals in sorted(self._excluded.items()):
+            for value in sorted(vals, key=repr):
+                out.append(Comparison(term, "!=", value))
+        for a, b in sorted(self._links):
+            out.append(JoinPredicate(a, b))
+        for (a, b), iv in sorted(self._diffs.items()):
+            out.append(DifferenceConstraint(a, b, iv))
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Conjunction):
+            return NotImplemented
+        return (
+            self._intervals == other._intervals
+            and self._excluded == other._excluded
+            and self._links == other._links
+            and self._diffs == other._diffs
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                frozenset(self._intervals.items()),
+                frozenset(self._excluded.items()),
+                self._links,
+                frozenset(self._diffs.items()),
+            )
+        )
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.atoms()]
+        return " AND ".join(parts) if parts else "TRUE"
+
+    def __repr__(self) -> str:
+        return f"Conjunction({self})"
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _comparison_interval(atom: Comparison) -> Optional[Interval]:
+    """Interval for a comparison atom; ``None`` for ``!=`` atoms."""
+    if atom.op == "=":
+        return Interval.point(atom.value)
+    if atom.op == "<":
+        return Interval.at_most(atom.value, strict=True)
+    if atom.op == "<=":
+        return Interval.at_most(atom.value)
+    if atom.op == ">":
+        return Interval.at_least(atom.value, strict=True)
+    if atom.op == ">=":
+        return Interval.at_least(atom.value)
+    return None
+
+
+def _interval_comparisons(term: str, iv: Interval) -> List[Comparison]:
+    if iv.is_point:
+        return [Comparison(term, "=", iv.lo)]
+    out: List[Comparison] = []
+    if iv.lo is not None:
+        out.append(Comparison(term, ">" if iv.lo_strict else ">=", iv.lo))
+    if iv.hi is not None:
+        out.append(Comparison(term, "<" if iv.hi_strict else "<=", iv.hi))
+    return out
+
+
+def _difference_range(iv_a: Interval, iv_b: Interval) -> Optional[Interval]:
+    """Feasible range of ``a - b`` given value intervals for ``a`` and ``b``."""
+    if isinstance(iv_a.lo, str) or isinstance(iv_a.hi, str):
+        return None
+    if isinstance(iv_b.lo, str) or isinstance(iv_b.hi, str):
+        return None
+    lo = None
+    lo_strict = False
+    if iv_a.lo is not None and iv_b.hi is not None:
+        lo = iv_a.lo - iv_b.hi
+        lo_strict = iv_a.lo_strict or iv_b.hi_strict
+    hi = None
+    hi_strict = False
+    if iv_a.hi is not None and iv_b.lo is not None:
+        hi = iv_a.hi - iv_b.lo
+        hi_strict = iv_a.hi_strict or iv_b.lo_strict
+    return Interval(lo, hi, lo_strict, hi_strict)
+
+
+def _atom_implied(mine: Conjunction, uf: _UnionFind, atom: Atom) -> bool:
+    """Does the (already closed) conjunction ``mine`` imply ``atom``?
+
+    Mirrors the per-atom cases of :meth:`Conjunction.implies`.
+    """
+    if isinstance(atom, Comparison):
+        needed = _comparison_interval(atom)
+        if needed is None:  # a != constraint
+            have_iv = mine._intervals.get(atom.term, Interval.universal())
+            have_vals = mine._excluded.get(atom.term, frozenset())
+            if atom.value in have_vals:
+                return True
+            return not have_iv.contains_value(atom.value)
+        have = mine._intervals.get(atom.term, Interval.universal())
+        return needed.contains_interval(have)
+    if isinstance(atom, JoinPredicate):
+        return uf.find(atom.left) == uf.find(atom.right)
+    if isinstance(atom, DifferenceConstraint):
+        pair, needed = atom.normalized()
+        return _diff_implied(mine, uf, pair[0], pair[1], needed)
+    raise PredicateError(f"unknown atom type: {atom!r}")
+
+
+def atom_terms(atom: Atom) -> Set[str]:
+    """The terms referenced by one atomic predicate."""
+    if isinstance(atom, Comparison):
+        return {atom.term}
+    if isinstance(atom, (JoinPredicate, DifferenceConstraint)):
+        return {atom.left, atom.right}
+    raise PredicateError(f"unknown atom type: {atom!r}")
+
+
+def _diff_implied(
+    mine: Conjunction,
+    uf: _UnionFind,
+    a: str,
+    b: str,
+    needed: Interval,
+) -> bool:
+    """Does ``mine`` guarantee ``a - b in needed``?
+
+    Checks, in order: an explicit matching difference constraint, the
+    equality classes (difference 0), and the feasible range derived from
+    the two terms' value intervals.
+    """
+    pair = (a, b) if a <= b else (b, a)
+    oriented = needed if a <= b else needed.negate()
+    have = mine._diffs.get(pair)
+    if have is not None and oriented.contains_interval(have):
+        return True
+    if uf.find(a) == uf.find(b) and needed.contains_value(0):
+        return True
+    iv_a = mine._intervals.get(a)
+    iv_b = mine._intervals.get(b)
+    if iv_a is not None and iv_b is not None:
+        feasible = _difference_range(iv_a, iv_b)
+        if feasible is not None and needed.contains_interval(feasible):
+            return True
+    return False

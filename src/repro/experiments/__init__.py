@@ -1,0 +1,27 @@
+"""Experiment harness: regenerate every figure and table of the paper.
+
+* :mod:`repro.experiments.fig4` — the query-grouping performance sweep
+  (Figure 4(a) benefit ratio, Figure 4(b) grouping ratio);
+* :mod:`repro.experiments.fig3` — shared vs non-shared result delivery
+  measured end to end on the Figure 3 overlay;
+* :mod:`repro.experiments.table1` — the Table 1 queries, their
+  representative and the split profiles, verified end to end;
+* :mod:`repro.experiments.runner` — text-table reporting and a
+  ``python -m repro.experiments`` entry point.
+"""
+
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Config, Fig4Result, run_fig4
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.runner import render_table
+
+__all__ = [
+    "Fig3Result",
+    "Fig4Config",
+    "Fig4Result",
+    "Table1Result",
+    "render_table",
+    "run_fig3",
+    "run_fig4",
+    "run_table1",
+]

@@ -1,0 +1,216 @@
+"""Figure 4: query grouping performance.
+
+The paper's preliminary experiment (section 5): 63 SensorScope
+streams; random queries (streams, window sizes and filter predicates
+drawn uniformly or zipfian with skew 1.0 / 1.5 / 2.0); a BRITE-style
+1000-node power-law topology with a minimum spanning dissemination
+tree; results averaged over 20 repetitions with fresh random queries.
+
+* **Figure 4(a), benefit ratio** — the percentage of communication
+  cost removed by query merging relative to no merging, measured at
+  checkpoints as queries accumulate (2000 .. 10000 in the paper).
+* **Figure 4(b), grouping ratio** — #groups / #queries at the same
+  checkpoints.
+
+Communication cost follows the Figure 3 delivery model
+(:class:`repro.system.delivery.DeliveryCostModel`): each member's
+result unicast along the tree vs the representative multicast with CBN
+re-tightening at branch points.
+
+The full paper scale (10000 queries x 4 distributions x 20 repetitions)
+takes tens of minutes in pure Python, so :class:`Fig4Config.scaled`
+provides a faithful reduced sweep; pass ``Fig4Config.paper_scale()``
+(or set the ``REPRO_FULL_SCALE`` environment variable for the bench) to
+run the original parameters.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost import CostModel
+from repro.core.grouping import GroupingOptimizer
+from repro.cql.schema import Catalog
+from repro.overlay.topology import NodeId, barabasi_albert
+from repro.overlay.tree import DisseminationTree
+from repro.system.delivery import DeliveryCostModel, GroupPlacement
+from repro.workload.queries import QueryWorkload, WorkloadConfig
+from repro.workload.sensorscope import sensorscope_catalog
+
+
+@dataclass
+class Fig4Config:
+    """Sweep parameters (defaults: a scaled-down but faithful sweep)."""
+
+    query_counts: Tuple[int, ...] = (500, 1000, 2000, 3000)
+    skews: Tuple[float, ...] = (0.0, 1.0, 1.5, 2.0)
+    repetitions: int = 3
+    n_streams: int = 63
+    topology_nodes: int = 1000
+    topology_m: int = 2
+    n_processors: int = 8
+    join_fraction: float = 0.0
+    seed: int = 7
+
+    @staticmethod
+    def paper_scale() -> "Fig4Config":
+        """The original section 5 parameters."""
+        return Fig4Config(
+            query_counts=(2000, 4000, 6000, 8000, 10000),
+            repetitions=20,
+        )
+
+    @staticmethod
+    def smoke() -> "Fig4Config":
+        """A seconds-long sweep for tests."""
+        return Fig4Config(
+            query_counts=(100, 200),
+            skews=(0.0, 1.5),
+            repetitions=2,
+            topology_nodes=200,
+        )
+
+
+@dataclass
+class Fig4Point:
+    """One (distribution, #queries) cell, averaged over repetitions."""
+
+    skew: float
+    n_queries: int
+    benefit_ratio: float
+    grouping_ratio: float
+    benefit_stdev: float = 0.0
+    grouping_stdev: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return "uniform" if self.skew == 0 else f"zipf{self.skew:g}"
+
+
+@dataclass
+class Fig4Result:
+    """All points of both subfigures."""
+
+    config: Fig4Config
+    points: List[Fig4Point]
+
+    def series(self, skew: float) -> List[Fig4Point]:
+        return sorted(
+            (p for p in self.points if p.skew == skew),
+            key=lambda p: p.n_queries,
+        )
+
+    def point(self, skew: float, n_queries: int) -> Fig4Point:
+        for p in self.points:
+            if p.skew == skew and p.n_queries == n_queries:
+                return p
+        raise KeyError((skew, n_queries))
+
+
+def run_fig4(config: Optional[Fig4Config] = None) -> Fig4Result:
+    """Run the Figure 4 sweep and return every point of both plots."""
+    config = config or Fig4Config()
+    points: List[Fig4Point] = []
+    for skew in config.skews:
+        samples: Dict[int, List[Tuple[float, float]]] = {
+            n: [] for n in config.query_counts
+        }
+        for repetition in range(config.repetitions):
+            run_seed = config.seed + 1000 * repetition + int(skew * 10)
+            for count, (benefit, grouping) in _one_run(
+                config, skew, run_seed
+            ).items():
+                samples[count].append((benefit, grouping))
+        for count, values in samples.items():
+            benefits = [v[0] for v in values]
+            groupings = [v[1] for v in values]
+            points.append(
+                Fig4Point(
+                    skew=skew,
+                    n_queries=count,
+                    benefit_ratio=statistics.fmean(benefits),
+                    grouping_ratio=statistics.fmean(groupings),
+                    benefit_stdev=(
+                        statistics.stdev(benefits) if len(benefits) > 1 else 0.0
+                    ),
+                    grouping_stdev=(
+                        statistics.stdev(groupings) if len(groupings) > 1 else 0.0
+                    ),
+                )
+            )
+    return Fig4Result(config, points)
+
+
+def _one_run(
+    config: Fig4Config, skew: float, seed: int
+) -> Dict[int, Tuple[float, float]]:
+    """One repetition: returns checkpoint -> (benefit, grouping) ratios."""
+    rng = random.Random(seed)
+    catalog = sensorscope_catalog(config.n_streams, rng=random.Random(seed + 1))
+    topology = barabasi_albert(
+        config.topology_nodes, config.topology_m, random.Random(seed + 2)
+    )
+    tree = DisseminationTree.minimum_spanning(topology)
+    nodes = tree.nodes
+    processor_nodes = rng.sample(nodes, config.n_processors)
+    cost_model = CostModel()
+    optimizers = [
+        GroupingOptimizer(catalog, cost_model) for __ in processor_nodes
+    ]
+    #: query name -> (optimizer index, user node)
+    placement_info: Dict[str, Tuple[int, NodeId]] = {}
+    delivery = DeliveryCostModel(tree, catalog, cost_model)
+
+    workload = QueryWorkload(
+        catalog,
+        WorkloadConfig(skew=skew, join_fraction=config.join_fraction, seed=seed + 3),
+    )
+    checkpoints: Dict[int, Tuple[float, float]] = {}
+    produced = 0
+    for target in sorted(config.query_counts):
+        while produced < target:
+            query = workload.next_query()
+            produced += 1
+            index = _affinity(query.stream_names, len(optimizers))
+            optimizers[index].add(query)
+            placement_info[query.name] = (index, rng.choice(nodes))
+        checkpoints[target] = _measure(
+            optimizers, processor_nodes, placement_info, delivery
+        )
+    return checkpoints
+
+
+def _affinity(stream_names: Sequence[str], n: int) -> int:
+    import hashlib
+
+    key = ",".join(sorted(set(stream_names)))
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % n
+
+
+def _measure(
+    optimizers: Sequence[GroupingOptimizer],
+    processor_nodes: Sequence[NodeId],
+    placement_info: Dict[str, Tuple[int, NodeId]],
+    delivery: DeliveryCostModel,
+) -> Tuple[float, float]:
+    placements: List[GroupPlacement] = []
+    total_queries = 0
+    total_groups = 0
+    for index, optimizer in enumerate(optimizers):
+        total_queries += optimizer.query_count
+        total_groups += optimizer.group_count
+        for group in optimizer.groups:
+            member_nodes = {
+                member.name: placement_info[member.name][1]
+                for member in group.members
+            }
+            placements.append(
+                GroupPlacement(group, processor_nodes[index], member_nodes)
+            )
+    benefit = delivery.benefit_ratio(placements)
+    grouping = total_groups / total_queries if total_queries else 1.0
+    return benefit, grouping

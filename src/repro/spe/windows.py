@@ -1,0 +1,71 @@
+"""Time-based sliding window buffers.
+
+A window predicate ``w(T)`` defines, at application time ``tau``, the
+temporal relation of tuples with timestamps in ``[tau - T, tau]``
+(section 4).  ``T = 0`` is CQL's ``[Now]`` (only tuples stamped exactly
+``tau``); ``T = inf`` is ``[Unbounded]``.
+
+:class:`WindowBuffer` assumes tuples are inserted in non-decreasing
+timestamp order, which lets expiry pop from the front of a deque.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.cbn.datagram import Datagram
+
+
+class WindowError(Exception):
+    """Raised on out-of-order insertion."""
+
+
+class WindowBuffer:
+    """Tuples of one stream visible through a sliding window of ``size`` s."""
+
+    def __init__(self, size: float) -> None:
+        if size < 0:
+            raise WindowError(f"window size must be non-negative, got {size}")
+        self.size = size
+        self._tuples: Deque[Datagram] = deque()
+        self._last_timestamp: Optional[float] = None
+
+    def insert(self, item: Datagram) -> None:
+        """Add a tuple; timestamps must be non-decreasing."""
+        if (
+            self._last_timestamp is not None
+            and item.timestamp < self._last_timestamp
+        ):
+            raise WindowError(
+                f"out-of-order tuple: {item.timestamp} after {self._last_timestamp}"
+            )
+        self._last_timestamp = item.timestamp
+        self._tuples.append(item)
+
+    def expire(self, now: float) -> List[Datagram]:
+        """Drop and return tuples that fell out of the window at ``now``.
+
+        A tuple with timestamp ``ts`` is visible while
+        ``now - size <= ts``; with an unbounded window nothing expires.
+        """
+        if math.isinf(self.size):
+            return []
+        expired: List[Datagram] = []
+        bound = now - self.size
+        while self._tuples and self._tuples[0].timestamp < bound:
+            expired.append(self._tuples.popleft())
+        return expired
+
+    def contents(self, now: Optional[float] = None) -> List[Datagram]:
+        """The visible tuples, optionally expiring as of ``now`` first."""
+        if now is not None:
+            self.expire(now)
+        return list(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Datagram]:
+        return iter(self._tuples)

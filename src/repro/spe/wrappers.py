@@ -1,0 +1,101 @@
+"""Data and query wrappers: the pluggable-SPE boundary.
+
+Section 2: *"For each type of SPE, a data wrapper and a query wrapper
+can be plugged into the system to translate the data and the queries
+between COSMOS and the SPE."*  COSMOS itself speaks datagrams and CQL
+ASTs; a wrapper pair adapts those to whatever a concrete engine wants.
+
+Our bundled engine natively consumes both, so its wrappers are
+identities — but the interfaces (and the text-round-trip wrapper, which
+mimics engines that only accept query *strings*, like GSN's virtual
+sensor descriptors) keep the boundary honest and tested.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.cbn.datagram import Datagram
+from repro.cql.ast import ContinuousQuery
+from repro.cql.parser import parse_query
+from repro.cql.text import to_cql
+
+
+class DataWrapper:
+    """Translate datagrams to/from a concrete engine's tuple format."""
+
+    def to_engine(self, datagram: Datagram) -> Any:
+        raise NotImplementedError
+
+    def from_engine(self, item: Any) -> Datagram:
+        raise NotImplementedError
+
+
+class QueryWrapper:
+    """Translate a COSMOS query to a concrete engine's query format."""
+
+    def to_engine(self, query: ContinuousQuery) -> Any:
+        raise NotImplementedError
+
+    def from_engine(self, item: Any) -> ContinuousQuery:
+        raise NotImplementedError
+
+
+class IdentityDataWrapper(DataWrapper):
+    """For engines that consume COSMOS datagrams natively."""
+
+    def to_engine(self, datagram: Datagram) -> Datagram:
+        return datagram
+
+    def from_engine(self, item: Datagram) -> Datagram:
+        return item
+
+
+class IdentityQueryWrapper(QueryWrapper):
+    """For engines that consume the CQL AST natively."""
+
+    def to_engine(self, query: ContinuousQuery) -> ContinuousQuery:
+        return query
+
+    def from_engine(self, item: ContinuousQuery) -> ContinuousQuery:
+        return item
+
+
+class TextQueryWrapper(QueryWrapper):
+    """For engines configured with plain CQL text (GSN-style).
+
+    ``to_engine`` renders the AST to text; ``from_engine`` parses text
+    back.  The round trip is semantics-preserving for the supported
+    fragment (covered by property tests).
+    """
+
+    def to_engine(self, query: ContinuousQuery) -> str:
+        return to_cql(query)
+
+    def from_engine(self, item: str) -> ContinuousQuery:
+        return parse_query(item)
+
+
+class ListDataWrapper(DataWrapper):
+    """For engines that consume positional records.
+
+    The wrapper is configured with the stream's attribute order and
+    converts between datagrams and ``(stream, timestamp, [values])``
+    triples — the shape of GSN's stream elements.
+    """
+
+    def __init__(self, attribute_order: List[str]) -> None:
+        self._order = list(attribute_order)
+
+    def to_engine(self, datagram: Datagram) -> tuple:
+        values = [datagram.payload.get(name) for name in self._order]
+        return (datagram.stream, datagram.timestamp, values)
+
+    def from_engine(self, item: tuple) -> Datagram:
+        stream, timestamp, values = item
+        payload = {
+            name: value
+            for name, value in zip(self._order, values)
+            if value is not None
+        }
+        return Datagram(stream, payload, timestamp)

@@ -1,0 +1,45 @@
+"""Whole-system simulation of COSMOS (sections 2 and 5).
+
+Puts the layers together: brokers and processors
+(:mod:`repro.system.node`) on an overlay tree, a query distribution
+service (:mod:`repro.system.distribution`), the end-to-end facade
+(:mod:`repro.system.cosmos`), an analytic model of shared vs non-shared
+result delivery (:mod:`repro.system.delivery`, Figure 3), two-layer
+fault tolerance (:mod:`repro.system.fault`) and a small discrete-event
+simulator (:mod:`repro.system.events`).
+"""
+
+from repro.system.cosmos import CosmosSystem, SubmittedQuery
+from repro.system.delivery import DeliveryCostModel, GroupPlacement
+from repro.system.distribution import (
+    LeastLoadedDistribution,
+    ProximityDistribution,
+    QueryDistribution,
+    RoundRobinDistribution,
+    StreamAffinityDistribution,
+)
+from repro.system.events import EventSimulator
+from repro.system.feeds import LiveFeedRunner, ScheduledSource
+from repro.system.monitor import SystemMonitor
+from repro.system.node import Broker, Processor
+from repro.system.tuning import reorganize_overlay, traffic_demands
+
+__all__ = [
+    "Broker",
+    "CosmosSystem",
+    "DeliveryCostModel",
+    "EventSimulator",
+    "GroupPlacement",
+    "LeastLoadedDistribution",
+    "LiveFeedRunner",
+    "Processor",
+    "ProximityDistribution",
+    "QueryDistribution",
+    "RoundRobinDistribution",
+    "ScheduledSource",
+    "StreamAffinityDistribution",
+    "SubmittedQuery",
+    "SystemMonitor",
+    "reorganize_overlay",
+    "traffic_demands",
+]

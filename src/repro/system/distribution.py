@@ -1,0 +1,218 @@
+"""Query distribution (load management).
+
+Section 2: *"A user query is first distributed to a processor by the
+load management service"*.  The paper leaves the policy open; this
+module provides the natural family:
+
+* :class:`RoundRobinDistribution` — cycle through processors;
+* :class:`LeastLoadedDistribution` — fewest registered queries wins;
+* :class:`ProximityDistribution` — smallest tree distance to the user;
+* :class:`StreamAffinityDistribution` — hash of the query's stream set,
+  so queries over the same streams land on the same processor, which
+  maximises the grouping optimizer's merging opportunities (used by the
+  Figure 4 reproduction).
+* :class:`CostAwareDistribution` — smallest estimated communication
+  cost for this query (source->processor plus processor->user paths),
+  in the spirit of the operator-placement literature the paper cites
+  ([13, 17]).  Note the tension with merging: placing each query
+  individually optimally can split same-FROM-set queries across
+  processors and forfeit grouping opportunities (quantified in
+  ``benchmarks/test_ablations.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.cost import CostModel
+from repro.cql.ast import ContinuousQuery
+from repro.cql.schema import Catalog
+from repro.overlay.topology import NodeId
+from repro.overlay.tree import DisseminationTree
+from repro.system.node import Processor
+
+
+class DistributionError(Exception):
+    """Raised when no processor is available."""
+
+
+class QueryDistribution:
+    """Policy interface: pick the processor for one user query."""
+
+    def choose(
+        self,
+        query: ContinuousQuery,
+        user_node: NodeId,
+        processors: Sequence[Processor],
+    ) -> Processor:
+        raise NotImplementedError
+
+    @staticmethod
+    def _require(processors: Sequence[Processor]) -> None:
+        if not processors:
+            raise DistributionError("no processors available")
+
+
+class RoundRobinDistribution(QueryDistribution):
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def choose(
+        self,
+        query: ContinuousQuery,
+        user_node: NodeId,
+        processors: Sequence[Processor],
+    ) -> Processor:
+        self._require(processors)
+        return processors[next(self._counter) % len(processors)]
+
+
+class LeastLoadedDistribution(QueryDistribution):
+    """Fewest queries currently registered (ties broken by node id)."""
+
+    def choose(
+        self,
+        query: ContinuousQuery,
+        user_node: NodeId,
+        processors: Sequence[Processor],
+    ) -> Processor:
+        self._require(processors)
+        return min(processors, key=lambda p: (p.query_count, p.node_id))
+
+
+class ProximityDistribution(QueryDistribution):
+    """Closest processor to the submitting user on the tree."""
+
+    def __init__(self, tree: DisseminationTree) -> None:
+        self._tree = tree
+
+    def choose(
+        self,
+        query: ContinuousQuery,
+        user_node: NodeId,
+        processors: Sequence[Processor],
+    ) -> Processor:
+        self._require(processors)
+        return min(
+            processors,
+            key=lambda p: (
+                self._tree.path_weight(user_node, p.node_id),
+                p.node_id,
+            ),
+        )
+
+
+class CapacityAwareDistribution(QueryDistribution):
+    """Respect heterogeneous processor capacities.
+
+    The paper's servers "have different capabilities due to their
+    different hardware and software configurations"; this policy wraps
+    another policy but only offers it processors with spare capacity
+    (``capacities`` maps node id to a maximum query count; unlisted
+    processors are unconstrained).  When every processor is full the
+    least-loaded one is used anyway (shedding is out of scope).
+    """
+
+    def __init__(
+        self,
+        inner: QueryDistribution,
+        capacities: Dict[NodeId, int],
+    ) -> None:
+        self._inner = inner
+        self._capacities = dict(capacities)
+
+    def _has_room(self, processor: Processor) -> bool:
+        cap = self._capacities.get(processor.node_id)
+        return cap is None or processor.query_count < cap
+
+    def choose(
+        self,
+        query: ContinuousQuery,
+        user_node: NodeId,
+        processors: Sequence[Processor],
+    ) -> Processor:
+        self._require(processors)
+        available = [p for p in processors if self._has_room(p)]
+        if not available:
+            return min(processors, key=lambda p: (p.query_count, p.node_id))
+        return self._inner.choose(query, user_node, available)
+
+
+class CostAwareDistribution(QueryDistribution):
+    """Placement by estimated per-query communication cost.
+
+    For each candidate processor: the query's source streams flow from
+    their source nodes to the processor (filtered/projected rate) and
+    the result stream flows from the processor to the user — choose the
+    processor minimising the total of rate x tree path weight.  This is
+    per-query-optimal placement in the style of the operator-placement
+    systems the paper contrasts with; it ignores sharing, so pairing it
+    with the grouping optimizer trades merging opportunity for shorter
+    paths (see the placement ablation).
+    """
+
+    def __init__(
+        self,
+        tree: DisseminationTree,
+        catalog: Catalog,
+        source_nodes: Mapping[str, NodeId],
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self._tree = tree
+        self._catalog = catalog
+        self._source_nodes = dict(source_nodes)
+        self._cost = cost_model or CostModel()
+
+    def _query_cost(
+        self, query: ContinuousQuery, processor: NodeId, user: NodeId
+    ) -> float:
+        canonical = query.canonical(self._catalog)
+        total = 0.0
+        for ref in canonical.streams:
+            source = self._source_nodes.get(ref.stream)
+            if source is None:
+                continue
+            rate = self._cost.source_flow_rate(
+                canonical, ref.stream, self._catalog
+            )
+            total += rate * self._tree.path_weight(source, processor)
+        result_rate = self._cost.result_rate(canonical, self._catalog)
+        total += result_rate * self._tree.path_weight(processor, user)
+        return total
+
+    def choose(
+        self,
+        query: ContinuousQuery,
+        user_node: NodeId,
+        processors: Sequence[Processor],
+    ) -> Processor:
+        self._require(processors)
+        return min(
+            processors,
+            key=lambda p: (
+                self._query_cost(query, p.node_id, user_node),
+                p.node_id,
+            ),
+        )
+
+
+class StreamAffinityDistribution(QueryDistribution):
+    """Deterministic stream-set hashing.
+
+    All queries over the same FROM set reach the same processor, so the
+    per-processor grouping optimizer sees every merging opportunity.
+    """
+
+    def choose(
+        self,
+        query: ContinuousQuery,
+        user_node: NodeId,
+        processors: Sequence[Processor],
+    ) -> Processor:
+        self._require(processors)
+        key = ",".join(sorted(set(query.stream_names)))
+        digest = hashlib.sha1(key.encode("utf-8")).digest()
+        index = int.from_bytes(digest[:4], "big") % len(processors)
+        return processors[index]

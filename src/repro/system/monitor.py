@@ -1,0 +1,130 @@
+"""System monitoring: the status the self-tuning loop observes.
+
+Section 3.2: each node's optimizer "monitors the workloads and
+connections of its neighbors".  :class:`SystemMonitor` aggregates that
+view for a whole deployment — per-processor query-layer load, the
+hottest overlay links, subscription pressure — as structured data and
+as a rendered text report (used by the examples and by operators of the
+simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.overlay.topology import Edge
+
+if TYPE_CHECKING:
+    from repro.system.cosmos import CosmosSystem
+
+
+@dataclass(frozen=True)
+class ProcessorLoad:
+    """Query-layer load of one processor."""
+
+    node_id: int
+    queries: int
+    groups: int
+    merged_rate: float
+
+    @property
+    def grouping_ratio(self) -> float:
+        return self.groups / self.queries if self.queries else 1.0
+
+
+@dataclass(frozen=True)
+class LinkHotspot:
+    """One overlay link and its accumulated data traffic."""
+
+    edge: Edge
+    messages: int
+    bytes: float
+
+
+class SystemMonitor:
+    """Read-only aggregate view over a running :class:`CosmosSystem`."""
+
+    def __init__(self, system: "CosmosSystem") -> None:
+        self._system = system
+
+    # -- query layer -------------------------------------------------------------
+
+    def processor_loads(self) -> List[ProcessorLoad]:
+        loads = []
+        for processor in self._system.processors.values():
+            grouping = processor.manager.grouping
+            loads.append(
+                ProcessorLoad(
+                    node_id=processor.node_id,
+                    queries=grouping.query_count,
+                    groups=grouping.group_count,
+                    merged_rate=grouping.total_merged_rate(),
+                )
+            )
+        return sorted(loads, key=lambda l: l.node_id)
+
+    def load_imbalance(self) -> float:
+        """max/mean query count across processors (1.0 = balanced)."""
+        counts = [load.queries for load in self.processor_loads()]
+        if not counts or sum(counts) == 0:
+            return 1.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+    # -- data layer ----------------------------------------------------------------
+
+    def hottest_links(self, top: int = 5) -> List[LinkHotspot]:
+        usage = self._system.network.data_stats.as_dict()
+        spots = [
+            LinkHotspot(edge, messages, size)
+            for edge, (messages, size) in usage.items()
+        ]
+        spots.sort(key=lambda s: s.bytes, reverse=True)
+        return spots[:top]
+
+    def routing_pressure(self) -> Dict[str, float]:
+        network = self._system.network
+        return {
+            "subscriptions": float(network.subscription_count),
+            "routing_entries": float(network.routing_state_size()),
+            "control_bytes": network.control_stats.total_bytes(),
+            "data_bytes": network.data_stats.total_bytes(),
+        }
+
+    # -- reporting -------------------------------------------------------------------
+
+    def report(self) -> str:
+        """A multi-section plain-text status report."""
+        from repro.experiments.runner import render_table
+
+        sections = []
+        loads = self.processor_loads()
+        sections.append(
+            render_table(
+                ["processor", "queries", "groups", "grouping ratio", "rep rate B/s"],
+                [
+                    [l.node_id, l.queries, l.groups, l.grouping_ratio, l.merged_rate]
+                    for l in loads
+                ],
+                "Query layer",
+            )
+        )
+        hot = self.hottest_links()
+        if hot:
+            sections.append(
+                render_table(
+                    ["link", "messages", "bytes"],
+                    [[f"{s.edge[0]}-{s.edge[1]}", s.messages, s.bytes] for s in hot],
+                    "Hottest links",
+                )
+            )
+        pressure = self.routing_pressure()
+        sections.append(
+            render_table(
+                ["metric", "value"],
+                sorted(pressure.items()),
+                "Data layer",
+            )
+        )
+        return "\n\n".join(sections)

@@ -1,0 +1,127 @@
+"""The auction stream monitoring application (Table 1).
+
+Two streams in the style of the NEXMark/Table 1 schema:
+
+* ``OpenAuction(itemID, sellerID, start_price, timestamp)``
+* ``ClosedAuction(itemID, buyerID, timestamp)``
+
+and a seeded generator where every item opens exactly once and closes
+after a random delay, so the fraction of auctions closing within 3h vs
+5h (queries q1 vs q2) is controllable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.cbn.datagram import Datagram
+from repro.cql.schema import Attribute, Catalog, StreamSchema
+
+OPEN_AUCTION_SCHEMA = StreamSchema(
+    "OpenAuction",
+    [
+        Attribute("itemID", "int", 0, 10_000),
+        Attribute("sellerID", "int", 0, 1_000),
+        Attribute("start_price", "float", 0.0, 1000.0),
+        Attribute("timestamp", "timestamp"),
+    ],
+    rate=1.0,
+)
+
+CLOSED_AUCTION_SCHEMA = StreamSchema(
+    "ClosedAuction",
+    [
+        Attribute("itemID", "int", 0, 10_000),
+        Attribute("buyerID", "int", 0, 1_000),
+        Attribute("timestamp", "timestamp"),
+    ],
+    rate=1.0,
+)
+
+#: Table 1, q1: auctions that closed within three hours of opening.
+TABLE1_Q1 = (
+    "SELECT O.* "
+    "FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C "
+    "WHERE O.itemID = C.itemID"
+)
+
+#: Table 1, q2: items and buyers of auctions closed within five hours.
+TABLE1_Q2 = (
+    "SELECT O.itemID, O.timestamp, C.buyerID, C.timestamp "
+    "FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C "
+    "WHERE O.itemID = C.itemID"
+)
+
+#: Table 1, q3: the representative containing q1 and q2.
+TABLE1_Q3 = (
+    "SELECT O.*, C.buyerID, C.timestamp "
+    "FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C "
+    "WHERE O.itemID = C.itemID"
+)
+
+
+def auction_catalog() -> Catalog:
+    """A catalog holding the two auction stream schemas."""
+    return Catalog([OPEN_AUCTION_SCHEMA, CLOSED_AUCTION_SCHEMA])
+
+
+class AuctionWorkload:
+    """Seeded open/close auction event generator.
+
+    Parameters
+    ----------
+    mean_duration:
+        Mean auction duration in seconds (exponentially distributed),
+        default 3 hours so a healthy share of auctions close within the
+        q1 window and more within the q2 window.
+    open_interval:
+        Seconds between consecutive auction openings.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        mean_duration: float = 3 * 3600.0,
+        open_interval: float = 60.0,
+        sellers: int = 100,
+        buyers: int = 100,
+    ) -> None:
+        self._rng = rng or random.Random(0)
+        self.mean_duration = mean_duration
+        self.open_interval = open_interval
+        self.sellers = sellers
+        self.buyers = buyers
+
+    def feed(self, n_items: int) -> List[Datagram]:
+        """Open ``n_items`` auctions and close them all; timestamp ordered."""
+        rng = self._rng
+        events: List[Datagram] = []
+        for item in range(n_items):
+            open_time = item * self.open_interval
+            close_time = open_time + rng.expovariate(1.0 / self.mean_duration)
+            events.append(
+                Datagram(
+                    "OpenAuction",
+                    {
+                        "itemID": item,
+                        "sellerID": rng.randrange(self.sellers),
+                        "start_price": round(rng.uniform(1.0, 1000.0), 2),
+                        "timestamp": open_time,
+                    },
+                    open_time,
+                )
+            )
+            events.append(
+                Datagram(
+                    "ClosedAuction",
+                    {
+                        "itemID": item,
+                        "buyerID": rng.randrange(self.buyers),
+                        "timestamp": close_time,
+                    },
+                    close_time,
+                )
+            )
+        events.sort(key=lambda d: d.timestamp)
+        return events

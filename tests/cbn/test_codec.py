@@ -1,0 +1,117 @@
+"""Wire codec round-trips for datagrams and profiles."""
+
+import pytest
+
+from repro.cbn.codec import (
+    CodecError,
+    decode_conjunction,
+    decode_datagram,
+    decode_profile,
+    encode_conjunction,
+    encode_datagram,
+    encode_profile,
+)
+from repro.cbn.datagram import Datagram
+from repro.cbn.filters import ALL_ATTRIBUTES, Filter, Profile
+from repro.cql.predicates import (
+    Comparison,
+    Conjunction,
+    DifferenceConstraint,
+    Interval,
+    JoinPredicate,
+)
+
+
+class TestDatagramCodec:
+    def test_roundtrip(self):
+        d = Datagram("S", {"a": 1, "b": 2.5, "c": "text"}, 42.0)
+        assert decode_datagram(encode_datagram(d)) == d
+
+    def test_empty_payload(self):
+        d = Datagram("S", {}, 0.0)
+        assert decode_datagram(encode_datagram(d)) == d
+
+    def test_negative_and_large_ints(self):
+        d = Datagram("S", {"a": -(2**40), "b": 2**40}, 1.0)
+        assert decode_datagram(encode_datagram(d)) == d
+
+    def test_unicode(self):
+        d = Datagram("météo", {"ville": "Zürich"}, 1.0)
+        assert decode_datagram(encode_datagram(d)) == d
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            decode_datagram(b"XX123")
+
+    def test_encoding_deterministic(self):
+        a = Datagram("S", {"x": 1, "y": 2}, 5.0)
+        b = Datagram("S", {"y": 2, "x": 1}, 5.0)
+        assert encode_datagram(a) == encode_datagram(b)
+
+    def test_bool_rejected(self):
+        with pytest.raises(CodecError):
+            encode_datagram(Datagram("S", {"flag": True}, 0.0))
+
+
+class TestConjunctionCodec:
+    @pytest.mark.parametrize(
+        "conjunction",
+        [
+            Conjunction.true(),
+            Conjunction.from_atoms([Comparison("a", ">", 1)]),
+            Conjunction.from_atoms(
+                [
+                    Comparison("a", ">=", 1),
+                    Comparison("a", "<", 9.5),
+                    Comparison("b", "!=", 3),
+                    Comparison("b", "!=", 4),
+                    JoinPredicate("x", "y"),
+                    DifferenceConstraint("x", "y", Interval(-3.0, 0.0)),
+                ]
+            ),
+            Conjunction.from_atoms([Comparison("name", "=", "alice")]),
+        ],
+    )
+    def test_roundtrip(self, conjunction):
+        buffer = encode_conjunction(conjunction)
+        decoded, offset = decode_conjunction(buffer)
+        assert decoded == conjunction
+        assert offset == len(buffer)
+
+
+class TestProfileCodec:
+    def test_roundtrip_full(self):
+        profile = Profile(
+            {"R": frozenset({"a", "b"}), "S": ALL_ATTRIBUTES},
+            [
+                Filter("R", Conjunction.from_atoms([Comparison("a", ">", 10)])),
+                Filter("S", Conjunction.true()),
+            ],
+        )
+        assert decode_profile(encode_profile(profile)) == profile
+
+    def test_roundtrip_minimal(self):
+        profile = Profile({"S": ALL_ATTRIBUTES})
+        assert decode_profile(encode_profile(profile)) == profile
+
+    def test_decoded_profile_behaves_identically(self):
+        profile = Profile(
+            {"S": frozenset({"a"})},
+            [Filter("S", Conjunction.from_atoms([Comparison("a", ">", 5)]))],
+        )
+        decoded = decode_profile(encode_profile(profile))
+        matching = Datagram("S", {"a": 7, "b": 1}, 0.0)
+        missing = Datagram("S", {"a": 2}, 0.0)
+        assert decoded.apply(matching) == profile.apply(matching)
+        assert decoded.apply(missing) is None
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            decode_profile(b"ZZ")
+
+    def test_size_smaller_than_repr(self):
+        profile = Profile(
+            {"S": frozenset({"a", "b", "c"})},
+            [Filter("S", Conjunction.from_atoms([Comparison("a", ">", 10)]))],
+        )
+        assert len(encode_profile(profile)) < len(repr(profile.projections)) + 100

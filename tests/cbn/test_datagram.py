@@ -1,0 +1,65 @@
+"""Datagram semantics: projection, sizes, equality."""
+
+from repro.cbn.datagram import Datagram
+
+
+class TestBasics:
+    def test_payload_is_copied(self):
+        payload = {"a": 1}
+        d = Datagram("S", payload, 1.0)
+        payload["a"] = 99
+        assert d.value("a") == 1
+
+    def test_attributes(self):
+        d = Datagram("S", {"a": 1, "b": 2})
+        assert d.attributes == frozenset({"a", "b"})
+        assert "a" in d and "z" not in d
+
+    def test_equality_and_hash(self):
+        a = Datagram("S", {"a": 1}, 2.0)
+        b = Datagram("S", {"a": 1}, 2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Datagram("S", {"a": 2}, 2.0)
+        assert a != Datagram("T", {"a": 1}, 2.0)
+
+
+class TestProjection:
+    def test_project_keeps_subset(self):
+        d = Datagram("S", {"a": 1, "b": 2, "c": 3})
+        p = d.project({"a", "c"})
+        assert dict(p.payload) == {"a": 1, "c": 3}
+
+    def test_project_ignores_missing(self):
+        d = Datagram("S", {"a": 1})
+        p = d.project({"a", "zzz"})
+        assert dict(p.payload) == {"a": 1}
+
+    def test_project_preserves_stream_and_time(self):
+        d = Datagram("S", {"a": 1}, 5.0)
+        p = d.project({"a"})
+        assert p.stream == "S" and p.timestamp == 5.0
+
+    def test_relabel(self):
+        d = Datagram("S", {"a": 1}, 5.0)
+        r = d.relabel("results")
+        assert r.stream == "results"
+        assert dict(r.payload) == {"a": 1}
+
+
+class TestSize:
+    def test_fallback_widths(self):
+        d = Datagram("S", {"i": 1, "f": 1.5, "s": "xy"})
+        assert d.size_bytes() == 4 + 8 + 16
+
+    def test_schema_widths_override(self):
+        d = Datagram("S", {"i": 1, "f": 1.5})
+        assert d.size_bytes({"i": 2, "f": 2}) == 4
+
+    def test_partial_schema_widths(self):
+        d = Datagram("S", {"i": 1, "f": 1.5})
+        assert d.size_bytes({"i": 2}) == 2 + 8
+
+    def test_projection_shrinks_size(self):
+        d = Datagram("S", {"a": 1.0, "b": 2.0, "c": 3.0})
+        assert d.project({"a"}).size_bytes() < d.size_bytes()

@@ -1,0 +1,66 @@
+"""Flooded vs DHT schema distribution."""
+
+import pytest
+
+from repro.cbn.schema_registry import DHTSchemaRegistry, FloodedSchemaRegistry
+from repro.cql.schema import Attribute, StreamSchema
+
+
+def schema(name):
+    return StreamSchema(name, [Attribute("a", "int")], rate=1.0)
+
+
+class TestFlooded:
+    def test_lookup_from_any_node(self, line_tree):
+        reg = FloodedSchemaRegistry(line_tree)
+        reg.register(schema("S"), 0)
+        for node in line_tree.nodes:
+            assert reg.lookup("S", node).name == "S"
+
+    def test_unknown_stream_none(self, line_tree):
+        reg = FloodedSchemaRegistry(line_tree)
+        assert reg.lookup("nope", 0) is None
+
+    def test_registration_costs_every_link(self, line_tree):
+        reg = FloodedSchemaRegistry(line_tree)
+        reg.register(schema("S"), 0)
+        assert reg.stats.total_messages() == len(line_tree.edges)
+
+    def test_lookup_is_free(self, line_tree):
+        reg = FloodedSchemaRegistry(line_tree)
+        reg.register(schema("S"), 0)
+        before = reg.stats.total_messages()
+        reg.lookup("S", 4)
+        assert reg.stats.total_messages() == before
+
+
+class TestDHT:
+    def test_register_then_lookup(self, line_tree):
+        reg = DHTSchemaRegistry(line_tree)
+        reg.register(schema("S"), 0)
+        assert reg.lookup("S", 4).name == "S"
+
+    def test_unknown_stream_none(self, line_tree):
+        reg = DHTSchemaRegistry(line_tree)
+        assert reg.lookup("nope", 0) is None
+
+    def test_lookups_cost_traffic(self, line_tree):
+        reg = DHTSchemaRegistry(line_tree)
+        reg.register(schema("S"), 0)
+        before = reg.stats.total_bytes()
+        for node in line_tree.nodes:
+            reg.lookup("S", node)
+        assert reg.stats.total_bytes() > before
+
+    def test_registration_cheaper_than_flooding_on_big_tree(self, small_tree):
+        flooded = FloodedSchemaRegistry(small_tree)
+        dht = DHTSchemaRegistry(small_tree)
+        for i in range(5):
+            flooded.register(schema(f"S{i}"), 0)
+            dht.register(schema(f"S{i}"), 0)
+        assert dht.stats.total_messages() < flooded.stats.total_messages()
+
+    def test_replicated_registration(self, small_tree):
+        reg = DHTSchemaRegistry(small_tree, replicas=3)
+        reg.register(schema("S"), 0)
+        assert reg.lookup("S", 5).name == "S"

@@ -1,0 +1,92 @@
+"""Per-stream dissemination trees (section 3.2: "multiple overlay
+dissemination trees")."""
+
+import pytest
+
+from repro.cbn.datagram import Datagram
+from repro.cbn.filters import ALL_ATTRIBUTES, Profile
+from repro.cbn.network import ContentBasedNetwork, NetworkError
+from repro.overlay.tree import DisseminationTree
+
+
+def line(nodes):
+    edges = list(zip(nodes, nodes[1:]))
+    return DisseminationTree(edges, {tuple(sorted(e)): 1.0 for e in edges})
+
+
+@pytest.fixture
+def two_tree_net():
+    """Stream X routes on 0-1-2-3-4, stream Y on 0-2-4-1-3."""
+    default = line([0, 1, 2, 3, 4])
+    y_tree = line([0, 2, 4, 1, 3])
+    net = ContentBasedNetwork(default, stream_trees={"Y": y_tree})
+    net.advertise("X", 0)
+    net.advertise("Y", 0)
+    return net
+
+
+class TestConstruction:
+    def test_mismatched_node_set_rejected(self):
+        with pytest.raises(NetworkError):
+            ContentBasedNetwork(
+                line([0, 1, 2]), stream_trees={"Y": line([0, 1, 2, 3])}
+            )
+
+    def test_tree_for(self, two_tree_net):
+        assert two_tree_net.tree_for("X") is two_tree_net.tree
+        assert two_tree_net.tree_for("Y") is not two_tree_net.tree
+        assert two_tree_net.has_stream_trees
+
+
+class TestRouting:
+    def test_streams_routed_on_own_trees(self, two_tree_net):
+        net = two_tree_net
+        net.subscribe(Profile({"X": ALL_ATTRIBUTES, "Y": ALL_ATTRIBUTES}), 4, "u")
+        x_deliveries = net.publish(Datagram("X", {"a": 1}), 0)
+        y_deliveries = net.publish(Datagram("Y", {"a": 2}), 0)
+        assert len(x_deliveries) == 1
+        assert len(y_deliveries) == 1
+        # X path 0-1-2-3-4 = 4 hops; Y path 0-2-4 = 2 hops.
+        assert net.data_stats.usage(0, 1).messages == 1  # X's first hop
+        assert net.data_stats.usage(0, 2).messages == 1  # Y's first hop
+        assert net.data_stats.usage(2, 4).messages == 1  # Y's second hop
+
+    def test_shorter_tree_saves_traffic(self, two_tree_net):
+        net = two_tree_net
+        net.subscribe(Profile({"X": {"a"}, "Y": {"a"}}), 4, "u")
+        net.publish(Datagram("X", {"a": 1}), 0)
+        x_messages = net.data_stats.total_messages()
+        net.publish(Datagram("Y", {"a": 1}), 0)
+        y_messages = net.data_stats.total_messages() - x_messages
+        assert y_messages < x_messages
+
+    def test_unsubscribe_clears_all_stream_entries(self, two_tree_net):
+        net = two_tree_net
+        net.subscribe(Profile({"X": ALL_ATTRIBUTES, "Y": ALL_ATTRIBUTES}), 4, "u")
+        net.unsubscribe("u")
+        assert net.publish(Datagram("X", {"a": 1}), 0) == []
+        assert net.publish(Datagram("Y", {"a": 1}), 0) == []
+        assert net.routing_state_size() == 0
+
+    def test_multi_stream_profile_filters_per_stream(self, two_tree_net):
+        from repro.cbn.filters import Filter
+        from repro.cql.predicates import Comparison, Conjunction
+
+        net = two_tree_net
+        profile = Profile(
+            {"X": {"a"}, "Y": {"a"}},
+            [Filter("X", Conjunction.from_atoms([Comparison("a", ">", 5)]))],
+        )
+        net.subscribe(profile, 3, "u")
+        assert net.publish(Datagram("X", {"a": 1}), 0) == []      # filtered
+        assert len(net.publish(Datagram("X", {"a": 9}), 0)) == 1  # passes
+        assert len(net.publish(Datagram("Y", {"a": 1}), 0)) == 1  # unconditional
+
+    def test_flooding_mode_with_stream_trees(self):
+        default = line([0, 1, 2, 3])
+        y_tree = line([0, 2, 1, 3])
+        net = ContentBasedNetwork(
+            default, scope_to_advertisements=False, stream_trees={"Y": y_tree}
+        )
+        net.subscribe(Profile({"Y": ALL_ATTRIBUTES}), 3, "u")
+        assert len(net.publish(Datagram("Y", {"a": 1}), 0)) == 1

@@ -1,0 +1,89 @@
+"""Shared fixtures: catalogs, small overlays, the Table 1 queries."""
+
+import random
+
+import pytest
+
+from repro.cql.parser import parse_query
+from repro.cql.schema import Attribute, Catalog, StreamSchema
+from repro.overlay.topology import Topology, barabasi_albert
+from repro.overlay.tree import DisseminationTree
+from repro.workload.auction import (
+    CLOSED_AUCTION_SCHEMA,
+    OPEN_AUCTION_SCHEMA,
+    TABLE1_Q1,
+    TABLE1_Q2,
+    TABLE1_Q3,
+)
+
+
+@pytest.fixture
+def auction_catalog():
+    return Catalog([OPEN_AUCTION_SCHEMA, CLOSED_AUCTION_SCHEMA])
+
+
+@pytest.fixture
+def sensor_catalog():
+    """A small sensor catalog with known domains for cost tests."""
+    return Catalog(
+        [
+            StreamSchema(
+                "Temp",
+                [
+                    Attribute("station", "int", 0, 9),
+                    Attribute("temperature", "float", -20.0, 40.0),
+                    Attribute("humidity", "float", 0.0, 100.0),
+                    Attribute("timestamp", "timestamp"),
+                ],
+                rate=2.0,
+            ),
+            StreamSchema(
+                "Wind",
+                [
+                    Attribute("station", "int", 0, 9),
+                    Attribute("speed", "float", 0.0, 50.0),
+                    Attribute("timestamp", "timestamp"),
+                ],
+                rate=1.0,
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def q1(auction_catalog):
+    return parse_query(TABLE1_Q1, name="q1")
+
+
+@pytest.fixture
+def q2(auction_catalog):
+    return parse_query(TABLE1_Q2, name="q2")
+
+
+@pytest.fixture
+def q3(auction_catalog):
+    return parse_query(TABLE1_Q3, name="q3")
+
+
+@pytest.fixture
+def small_topology():
+    return barabasi_albert(30, 2, random.Random(42))
+
+
+@pytest.fixture
+def small_tree(small_topology):
+    return DisseminationTree.minimum_spanning(small_topology)
+
+
+@pytest.fixture
+def line_tree():
+    """0 - 1 - 2 - 3 - 4, unit weights."""
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+    return DisseminationTree(edges, {e: 1.0 for e in edges})
+
+
+@pytest.fixture
+def star_tree():
+    """Node 0 in the middle of 1..4."""
+    edges = [(0, 1), (0, 2), (0, 3), (0, 4)]
+    return DisseminationTree(edges, {e: 1.0 for e in edges})

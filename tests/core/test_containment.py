@@ -1,0 +1,191 @@
+"""Continuous query containment: Lemma 1, Theorem 1, Theorem 2."""
+
+import pytest
+
+from repro.core.containment import contains, equivalent, unbounded_contains
+from repro.cql.parser import parse_query
+from repro.cql.schema import Attribute, Catalog, StreamSchema
+
+
+@pytest.fixture
+def catalog(sensor_catalog):
+    return sensor_catalog
+
+
+def q(text):
+    return parse_query(text)
+
+
+class TestUnboundedContainment:
+    def test_tighter_selection_contained(self, catalog):
+        narrow = q("SELECT T.temperature FROM Temp T WHERE T.temperature > 30")
+        broad = q("SELECT T.temperature FROM Temp T WHERE T.temperature > 10")
+        assert unbounded_contains(narrow, broad, catalog)
+        assert not unbounded_contains(broad, narrow, catalog)
+
+    def test_projection_must_be_subset(self, catalog):
+        small = q("SELECT T.temperature FROM Temp T")
+        big = q("SELECT T.temperature, T.humidity FROM Temp T")
+        assert unbounded_contains(small, big, catalog)
+        assert not unbounded_contains(big, small, catalog)
+
+    def test_different_streams_not_contained(self, catalog):
+        a = q("SELECT T.temperature FROM Temp T")
+        b = q("SELECT W.speed FROM Wind W")
+        assert not unbounded_contains(a, b, catalog)
+
+    def test_join_vs_single_stream(self, catalog):
+        single = q("SELECT T.temperature FROM Temp T")
+        join = q(
+            "SELECT T.temperature FROM Temp T, Wind W WHERE T.station = W.station"
+        )
+        assert not unbounded_contains(single, join, catalog)
+        assert not unbounded_contains(join, single, catalog)
+
+    def test_alias_irrelevant(self, catalog):
+        a = q("SELECT x.temperature FROM Temp x WHERE x.temperature > 5")
+        b = q("SELECT y.temperature FROM Temp y WHERE y.temperature > 0")
+        assert unbounded_contains(a, b, catalog)
+
+    def test_join_predicates_must_be_implied(self, catalog):
+        with_join = q(
+            "SELECT T.temperature FROM Temp T, Wind W WHERE T.station = W.station"
+        )
+        cross = q("SELECT T.temperature FROM Temp T, Wind W")
+        assert unbounded_contains(with_join, cross, catalog)
+        assert not unbounded_contains(cross, with_join, catalog)
+
+    def test_self_join_never_compared(self, catalog):
+        a = q(
+            "SELECT x.temperature FROM Temp x, Temp y WHERE x.station = y.station"
+        )
+        b = q("SELECT T.temperature FROM Temp T")
+        assert not unbounded_contains(a, b, catalog)
+
+
+class TestTheorem1Windows:
+    def test_smaller_window_contained(self, catalog):
+        small = q("SELECT T.temperature FROM Temp [Range 1 Hour] T")
+        big = q("SELECT T.temperature FROM Temp [Range 5 Hour] T")
+        assert contains(small, big, catalog)
+        assert not contains(big, small, catalog)
+
+    def test_equal_windows_contained(self, catalog):
+        a = q("SELECT T.temperature FROM Temp [Range 1 Hour] T")
+        assert contains(a, a, catalog)
+
+    def test_per_stream_window_comparison(self, catalog):
+        q1 = q(
+            "SELECT T.temperature FROM Temp [Range 3 Hour] T, Wind [Now] W "
+            "WHERE T.station = W.station"
+        )
+        q2 = q(
+            "SELECT T.temperature FROM Temp [Range 5 Hour] T, Wind [Now] W "
+            "WHERE T.station = W.station"
+        )
+        assert contains(q1, q2, catalog)
+        assert not contains(q2, q1, catalog)
+
+    def test_mixed_window_directions_not_contained(self, catalog):
+        q1 = q(
+            "SELECT T.temperature FROM Temp [Range 3 Hour] T, Wind [Range 2 Hour] W "
+            "WHERE T.station = W.station"
+        )
+        q2 = q(
+            "SELECT T.temperature FROM Temp [Range 5 Hour] T, Wind [Range 1 Hour] W "
+            "WHERE T.station = W.station"
+        )
+        assert not contains(q1, q2, catalog)
+        assert not contains(q2, q1, catalog)
+
+    def test_both_conditions_required(self, catalog):
+        # Window OK but selection looser: not contained.
+        q1 = q("SELECT T.temperature FROM Temp [Range 1 Hour] T")
+        q2 = q(
+            "SELECT T.temperature FROM Temp [Range 5 Hour] T "
+            "WHERE T.temperature > 0"
+        )
+        assert not contains(q1, q2, catalog)
+
+
+class TestTheorem2Aggregates:
+    def test_equal_windows_required(self, catalog):
+        a = q(
+            "SELECT AVG(T.temperature) FROM Temp [Range 1 Hour] T "
+            "GROUP BY T.station"
+        )
+        b = q(
+            "SELECT AVG(T.temperature) FROM Temp [Range 2 Hour] T "
+            "GROUP BY T.station"
+        )
+        assert not contains(a, b, catalog)
+        assert contains(a, a, catalog)
+
+    def test_group_attribute_selection_may_tighten(self, catalog):
+        narrow = q(
+            "SELECT AVG(T.temperature) FROM Temp [Range 1 Hour] T "
+            "WHERE T.station <= 3 GROUP BY T.station"
+        )
+        broad = q(
+            "SELECT AVG(T.temperature) FROM Temp [Range 1 Hour] T "
+            "GROUP BY T.station"
+        )
+        assert contains(narrow, broad, catalog)
+
+    def test_non_group_selection_blocks_containment(self, catalog):
+        # Filtering on the aggregated attribute changes group values.
+        filtered = q(
+            "SELECT AVG(T.temperature) FROM Temp [Range 1 Hour] T "
+            "WHERE T.temperature > 0 GROUP BY T.station"
+        )
+        unfiltered = q(
+            "SELECT AVG(T.temperature) FROM Temp [Range 1 Hour] T "
+            "GROUP BY T.station"
+        )
+        assert not contains(filtered, unfiltered, catalog)
+
+    def test_different_aggregate_functions(self, catalog):
+        a = q("SELECT AVG(T.temperature) FROM Temp T GROUP BY T.station")
+        b = q("SELECT MAX(T.temperature) FROM Temp T GROUP BY T.station")
+        assert not contains(a, b, catalog)
+
+    def test_different_grouping(self, catalog):
+        a = q("SELECT AVG(T.temperature) FROM Temp T GROUP BY T.station")
+        b = q("SELECT AVG(T.temperature) FROM Temp T")
+        assert not contains(a, b, catalog)
+
+    def test_aggregate_vs_spj(self, catalog):
+        agg = q("SELECT AVG(T.temperature) FROM Temp T GROUP BY T.station")
+        spj = q("SELECT T.temperature FROM Temp T")
+        assert not contains(agg, spj, catalog)
+        assert not contains(spj, agg, catalog)
+
+
+class TestTable1(object):
+    def test_q1_q2_contained_by_q3(self, q1, q2, q3, auction_catalog):
+        assert contains(q1, q3, auction_catalog)
+        assert contains(q2, q3, auction_catalog)
+
+    def test_q3_not_contained_by_members(self, q1, q2, q3, auction_catalog):
+        assert not contains(q3, q1, auction_catalog)
+        assert not contains(q3, q2, auction_catalog)
+
+    def test_q1_q2_incomparable(self, q1, q2, auction_catalog):
+        assert not contains(q1, q2, auction_catalog)
+        assert not contains(q2, q1, auction_catalog)
+
+
+class TestEquivalence:
+    def test_reflexive(self, catalog):
+        a = q("SELECT T.temperature FROM Temp [Range 1 Hour] T")
+        assert equivalent(a, a, catalog)
+
+    def test_alias_renaming_equivalent(self, catalog):
+        a = q("SELECT x.temperature FROM Temp [Range 1 Hour] x")
+        b = q("SELECT y.temperature FROM Temp [Range 1 Hour] y")
+        assert equivalent(a, b, catalog)
+
+    def test_range_vs_equality_forms(self, catalog):
+        a = q("SELECT T.temperature FROM Temp T WHERE T.station >= 3 AND T.station <= 3")
+        b = q("SELECT T.temperature FROM Temp T WHERE T.station = 3")
+        assert equivalent(a, b, catalog)

@@ -1,0 +1,117 @@
+"""The per-processor query manager."""
+
+import pytest
+
+from repro.cbn.datagram import Datagram
+from repro.core.grouping import GroupingOptimizer
+from repro.core.manager import QueryManager
+from repro.core.cost import CostModel
+from repro.cql.parser import parse_query
+from repro.workload.auction import TABLE1_Q1, TABLE1_Q2
+
+
+@pytest.fixture
+def manager(auction_catalog):
+    return QueryManager(auction_catalog)
+
+
+class TestSubmission:
+    def test_first_submission_creates_group(self, manager):
+        sub = manager.submit(parse_query(TABLE1_Q1), name="q1")
+        assert sub.created_group
+        assert sub.result_stream.endswith(":results")
+        assert sub.query.name == "q1"
+
+    def test_overlapping_query_joins_group(self, manager):
+        manager.submit(parse_query(TABLE1_Q1), name="q1")
+        sub = manager.submit(parse_query(TABLE1_Q2), name="q2")
+        assert not sub.created_group
+        assert sub.benefit_delta > 0
+        assert len(manager.groups) == 1
+
+    def test_updated_profiles_cover_all_members(self, manager):
+        manager.submit(parse_query(TABLE1_Q1), name="q1")
+        sub = manager.submit(parse_query(TABLE1_Q2), name="q2")
+        assert set(sub.updated_profiles) == {"q1", "q2"}
+
+    def test_spe_runs_single_representative(self, manager):
+        manager.submit(parse_query(TABLE1_Q1), name="q1")
+        manager.submit(parse_query(TABLE1_Q2), name="q2")
+        assert len(manager.spe.query_names) == 1
+
+    def test_source_profile_covers_inputs(self, manager):
+        sub = manager.submit(parse_query(TABLE1_Q1), name="q1")
+        assert sub.source_profile.streams == frozenset(
+            {"OpenAuction", "ClosedAuction"}
+        )
+
+    def test_result_schema_provided(self, manager):
+        sub = manager.submit(parse_query(TABLE1_Q1), name="q1")
+        assert sub.result_schema.name == sub.result_stream
+        assert sub.result_schema.has_attribute("OpenAuction.itemID")
+
+    def test_auto_naming(self, manager):
+        sub = manager.submit(parse_query(TABLE1_Q1))
+        assert sub.query.name is not None
+
+    def test_invalid_query_rejected(self, manager):
+        with pytest.raises(Exception):
+            manager.submit(parse_query("SELECT X.a FROM X"), name="bad")
+
+
+class TestEndToEndThroughManager:
+    def test_split_profiles_reproduce_member_results(self, manager, auction_catalog):
+        manager.submit(parse_query(TABLE1_Q1), name="q1")
+        sub = manager.submit(parse_query(TABLE1_Q2), name="q2")
+        p1 = sub.updated_profiles["q1"]
+        p2 = sub.updated_profiles["q2"]
+
+        feed = [
+            Datagram("OpenAuction", {"itemID": 1, "sellerID": 2, "start_price": 5.0, "timestamp": 0.0}, 0.0),
+            Datagram("ClosedAuction", {"itemID": 1, "buyerID": 7, "timestamp": 7200.0}, 7200.0),   # 2h: q1+q2
+            Datagram("OpenAuction", {"itemID": 2, "sellerID": 2, "start_price": 5.0, "timestamp": 8000.0}, 8000.0),
+            Datagram("ClosedAuction", {"itemID": 2, "buyerID": 8, "timestamp": 23000.0}, 23000.0),  # ~4.2h: q2 only
+        ]
+        split = {"q1": 0, "q2": 0}
+        for datagram in feed:
+            for result in manager.spe.push(datagram):
+                out = result.datagram.relabel(sub.result_stream)
+                for name, profile in (("q1", p1), ("q2", p2)):
+                    if profile.apply(out) is not None:
+                        split[name] += 1
+        assert split == {"q1": 1, "q2": 2}
+
+
+class TestWithdraw:
+    def test_withdraw_last_member_removes_group(self, manager):
+        manager.submit(parse_query(TABLE1_Q1), name="q1")
+        assert manager.withdraw("q1") is None
+        assert manager.groups == []
+        assert manager.spe.query_names == []
+
+    def test_withdraw_member_recomposes(self, manager):
+        manager.submit(parse_query(TABLE1_Q1), name="q1")
+        manager.submit(parse_query(TABLE1_Q2), name="q2")
+        group = manager.withdraw("q2")
+        assert group is not None
+        assert group.member_names() == ["q1"]
+        # The SPE now runs the recomposed (narrower) representative.
+        assert len(manager.spe.query_names) == 1
+
+    def test_withdraw_unknown_raises(self, manager):
+        with pytest.raises(KeyError):
+            manager.withdraw("zzz")
+
+
+class TestMergingDisabled:
+    def test_infinite_threshold_keeps_groups_apart(self, auction_catalog):
+        manager = QueryManager(
+            auction_catalog,
+            grouping=GroupingOptimizer(
+                auction_catalog, CostModel(), merge_threshold=float("inf")
+            ),
+        )
+        manager.submit(parse_query(TABLE1_Q1), name="q1")
+        manager.submit(parse_query(TABLE1_Q2), name="q2")
+        assert len(manager.groups) == 2
+        assert len(manager.spe.query_names) == 2

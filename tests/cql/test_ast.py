@@ -1,0 +1,168 @@
+"""Query AST: validation, canonicalisation, windows, projections."""
+
+import math
+
+import pytest
+
+from repro.cql.ast import (
+    Aggregate,
+    ContinuousQuery,
+    NOW,
+    QueryError,
+    Star,
+    StreamRef,
+    UNBOUNDED,
+    Window,
+)
+from repro.cql.parser import parse_query
+from repro.cql.predicates import AttrRef, Comparison, Conjunction
+
+
+class TestWindow:
+    def test_now_and_unbounded(self):
+        assert NOW.is_now
+        assert UNBOUNDED.is_unbounded
+        assert not Window(10).is_now
+
+    def test_containment(self):
+        assert Window(10).contains(Window(5))
+        assert not Window(5).contains(Window(10))
+        assert UNBOUNDED.contains(Window(1e9))
+
+    def test_rendering(self):
+        assert str(NOW) == "[Now]"
+        assert str(UNBOUNDED) == "[Unbounded]"
+        assert str(Window(3 * 3600)) == "[Range 3 Hour]"
+        assert str(Window(90)) == "[Range 90 Second]"
+
+    def test_ordering(self):
+        assert Window(1) < Window(2)
+
+
+class TestConstruction:
+    def test_needs_streams(self):
+        with pytest.raises(QueryError):
+            ContinuousQuery(select_items=(AttrRef("S", "a"),), streams=())
+
+    def test_needs_select_items(self):
+        with pytest.raises(QueryError):
+            ContinuousQuery(select_items=(), streams=(StreamRef("S"),))
+
+    def test_duplicate_reference_names_rejected(self):
+        with pytest.raises(QueryError):
+            ContinuousQuery(
+                select_items=(AttrRef("S", "a"),),
+                streams=(StreamRef("S"), StreamRef("S")),
+            )
+
+    def test_self_join_with_aliases_allowed(self):
+        q = ContinuousQuery(
+            select_items=(AttrRef("a1", "x"),),
+            streams=(StreamRef("S", alias="a1"), StreamRef("S", alias="a2")),
+        )
+        assert q.has_self_join
+
+
+class TestValidation:
+    def test_unknown_stream(self, auction_catalog):
+        q = parse_query("SELECT X.a FROM X")
+        with pytest.raises(QueryError):
+            q.validate(auction_catalog)
+
+    def test_unknown_attribute(self, auction_catalog):
+        q = parse_query("SELECT O.nope FROM OpenAuction O")
+        with pytest.raises(QueryError):
+            q.validate(auction_catalog)
+
+    def test_where_attribute_checked(self, auction_catalog):
+        q = parse_query("SELECT O.itemID FROM OpenAuction O WHERE O.bogus > 1")
+        with pytest.raises(QueryError):
+            q.validate(auction_catalog)
+
+    def test_valid_query_passes(self, q1, auction_catalog):
+        q1.validate(auction_catalog)
+
+
+class TestProjection:
+    def test_star_expansion(self, q1, auction_catalog):
+        attrs = q1.projected_attributes(auction_catalog)
+        assert [a.key for a in attrs] == [
+            "O.itemID",
+            "O.sellerID",
+            "O.start_price",
+            "O.timestamp",
+        ]
+
+    def test_output_names(self, q2, auction_catalog):
+        assert q2.output_attribute_names(auction_catalog) == [
+            "O.itemID",
+            "O.timestamp",
+            "C.buyerID",
+            "C.timestamp",
+        ]
+
+    def test_aggregate_output_names(self):
+        q = parse_query("SELECT AVG(S.t) AS m FROM S GROUP BY S.station")
+        from repro.cql.schema import Attribute, Catalog, StreamSchema
+
+        catalog = Catalog(
+            [StreamSchema("S", [Attribute("t"), Attribute("station", "int")])]
+        )
+        assert q.output_attribute_names(catalog) == ["S.station", "m"]
+
+
+class TestCanonical:
+    def test_aliases_replaced(self, q1, auction_catalog):
+        c = q1.canonical(auction_catalog)
+        assert c.reference_names == ("OpenAuction", "ClosedAuction")
+        assert ("ClosedAuction.itemID", "OpenAuction.itemID") in c.predicate.links
+
+    def test_already_canonical_fast_path(self, auction_catalog):
+        q = parse_query("SELECT OpenAuction.itemID FROM OpenAuction")
+        assert q.canonical(auction_catalog) is q
+
+    def test_self_join_rejected(self, auction_catalog):
+        q = parse_query(
+            "SELECT a.itemID FROM OpenAuction a, OpenAuction b "
+            "WHERE a.itemID = b.itemID"
+        )
+        with pytest.raises(QueryError):
+            q.canonical(auction_catalog)
+
+    def test_canonical_preserves_windows(self, q1, auction_catalog):
+        c = q1.canonical(auction_catalog)
+        assert c.window_of("OpenAuction").size == 3 * 3600
+        assert c.window_of("ClosedAuction") == NOW
+
+    def test_canonical_star(self, q1, auction_catalog):
+        c = q1.canonical(auction_catalog)
+        assert Star("OpenAuction") in c.select_items
+
+
+class TestWindowManipulation:
+    def test_unbounded_query(self, q1):
+        inf = q1.unbounded()
+        assert all(ref.window.is_unbounded for ref in inf.streams)
+
+    def test_with_windows(self, q1):
+        replaced = q1.with_windows({"O": Window(60)})
+        assert replaced.window_of("O").size == 60
+        assert replaced.window_of("C") == NOW
+
+    def test_window_of_unknown_reference(self, q1):
+        with pytest.raises(QueryError):
+            q1.window_of("Z")
+
+
+class TestAggregateItem:
+    def test_bad_function(self):
+        with pytest.raises(QueryError):
+            Aggregate("median", AttrRef("S", "x"))
+
+    def test_star_only_for_count(self):
+        with pytest.raises(QueryError):
+            Aggregate("sum", None)
+
+    def test_default_name_includes_arg(self):
+        assert Aggregate("max", AttrRef("S", "temp")).name == "max_S_temp"
+        assert Aggregate("count", None).name == "count_star"

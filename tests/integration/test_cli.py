@@ -1,0 +1,31 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1", "--items", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "split reproduces direct execution: True" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--items", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "results identical: True" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Query layer" in out
+        assert "delivered" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,83 @@
+"""Everything is seeded: identical configurations reproduce exactly.
+
+Reproducibility is a first-class requirement for an experiments
+package — every random choice flows through explicit seeds, so two
+runs of any experiment must agree bit-for-bit.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import Fig4Config, run_fig4
+from repro.experiments.table1 import run_table1
+
+
+class TestExperimentDeterminism:
+    def test_fig4_reproducible(self):
+        config = Fig4Config(
+            query_counts=(80,), skews=(0.0, 1.5), repetitions=2,
+            topology_nodes=120, seed=33,
+        )
+        a = run_fig4(config)
+        b = run_fig4(config)
+        for pa, pb in zip(a.points, b.points):
+            assert pa == pb
+
+    def test_fig4_seed_changes_results(self):
+        base = Fig4Config(
+            query_counts=(80,), skews=(1.5,), repetitions=1,
+            topology_nodes=120, seed=33,
+        )
+        other = Fig4Config(
+            query_counts=(80,), skews=(1.5,), repetitions=1,
+            topology_nodes=120, seed=34,
+        )
+        a = run_fig4(base).points[0]
+        b = run_fig4(other).points[0]
+        assert (a.benefit_ratio, a.grouping_ratio) != (
+            b.benefit_ratio,
+            b.grouping_ratio,
+        )
+
+    def test_fig3_reproducible(self):
+        a = run_fig3(n_items=80, seed=4)
+        b = run_fig3(n_items=80, seed=4)
+        assert a == b
+
+    def test_table1_reproducible(self):
+        a = run_table1(n_items=80, seed=4)
+        b = run_table1(n_items=80, seed=4)
+        assert a == b
+
+
+class TestSystemDeterminism:
+    def test_full_system_replay_reproducible(self):
+        from repro.overlay.topology import barabasi_albert
+        from repro.overlay.tree import DisseminationTree
+        from repro.system.cosmos import CosmosSystem
+        from repro.workload.queries import QueryWorkload, WorkloadConfig
+        from repro.workload.sensorscope import (
+            SensorScopeReplayer,
+            sensorscope_catalog,
+        )
+
+        def run():
+            rng = random.Random(5)
+            catalog = sensorscope_catalog(4, rng=random.Random(5))
+            topo = barabasi_albert(25, 2, rng)
+            tree = DisseminationTree.minimum_spanning(topo)
+            system = CosmosSystem(tree, processor_nodes=[0, 1])
+            for index, schema in enumerate(sorted(catalog, key=lambda s: s.name)):
+                system.add_source(schema, 5 + index)
+            workload = QueryWorkload(
+                catalog, WorkloadConfig(skew=1.0, join_fraction=0.0, seed=6)
+            )
+            for query in workload.generate(15):
+                system.submit(query, user_node=rng.randrange(25))
+            feed = SensorScopeReplayer(catalog, random.Random(7)).feed(15.0)
+            delivered = system.replay(feed)
+            return delivered, system.data_cost(), system.grouping_summary()
+
+        assert run() == run()

@@ -1,0 +1,41 @@
+"""Experiment configuration helpers and doctest hygiene."""
+
+import doctest
+
+import pytest
+
+from repro.experiments.fig4 import Fig4Config
+
+
+class TestFig4Config:
+    def test_defaults_are_scaled(self):
+        config = Fig4Config()
+        assert max(config.query_counts) <= 4000
+        assert config.repetitions <= 5
+
+    def test_paper_scale(self):
+        config = Fig4Config.paper_scale()
+        assert config.query_counts == (2000, 4000, 6000, 8000, 10000)
+        assert config.repetitions == 20
+        assert config.topology_nodes == 1000
+        assert config.n_streams == 63
+
+    def test_smoke_is_tiny(self):
+        config = Fig4Config.smoke()
+        assert max(config.query_counts) <= 500
+        assert config.repetitions <= 2
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.cql.parser",
+        ],
+    )
+    def test_module_doctests(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0

@@ -1,0 +1,30 @@
+"""Figure 3 measured end to end: sharing saves on the common link."""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig3(n_items=150, seed=11)
+
+
+class TestCorrectness:
+    def test_both_modes_deliver_identical_results(self, result):
+        assert result.results_identical
+
+    def test_results_nonempty(self, result):
+        assert result.q1_results > 0
+        assert result.q2_results > result.q1_results
+
+
+class TestSaving:
+    def test_shared_link_carries_less_with_merging(self, result):
+        assert result.shared_link_bytes_share < result.shared_link_bytes_nonshare
+
+    def test_total_bytes_not_worse(self, result):
+        assert result.total_bytes_share <= result.total_bytes_nonshare
+
+    def test_saving_fraction_positive(self, result):
+        assert 0 < result.shared_link_saving < 1

@@ -1,0 +1,56 @@
+"""Smoke-scale Figure 4 sweep: the qualitative trends must hold."""
+
+import pytest
+
+from repro.experiments.fig4 import Fig4Config, run_fig4
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = Fig4Config(
+        query_counts=(150, 400),
+        skews=(0.0, 2.0),
+        repetitions=2,
+        topology_nodes=200,
+        n_processors=4,
+        seed=21,
+    )
+    return run_fig4(config)
+
+
+class TestShape:
+    def test_all_points_present(self, result):
+        assert len(result.points) == 4
+
+    def test_ratios_in_unit_interval(self, result):
+        for point in result.points:
+            assert 0.0 <= point.benefit_ratio <= 1.0
+            assert 0.0 < point.grouping_ratio <= 1.0
+
+    def test_benefit_grows_with_queries(self, result):
+        for skew in (0.0, 2.0):
+            series = result.series(skew)
+            assert series[-1].benefit_ratio >= series[0].benefit_ratio
+
+    def test_grouping_ratio_falls_with_queries(self, result):
+        for skew in (0.0, 2.0):
+            series = result.series(skew)
+            assert series[-1].grouping_ratio <= series[0].grouping_ratio
+
+    def test_skew_increases_benefit(self, result):
+        n = 400
+        assert (
+            result.point(2.0, n).benefit_ratio
+            > result.point(0.0, n).benefit_ratio
+        )
+
+    def test_skew_decreases_grouping_ratio(self, result):
+        n = 400
+        assert (
+            result.point(2.0, n).grouping_ratio
+            < result.point(0.0, n).grouping_ratio
+        )
+
+    def test_labels(self, result):
+        assert result.point(0.0, 150).label == "uniform"
+        assert result.point(2.0, 150).label == "zipf2"

@@ -1,0 +1,52 @@
+"""Link traffic accounting."""
+
+from repro.overlay.metrics import LinkStats
+
+
+class TestLinkStats:
+    def test_record_and_usage(self):
+        stats = LinkStats()
+        stats.record(0, 1, 100.0)
+        stats.record(1, 0, 50.0)  # same undirected link
+        usage = stats.usage(0, 1)
+        assert usage.messages == 2
+        assert usage.bytes == 150.0
+
+    def test_totals(self):
+        stats = LinkStats()
+        stats.record(0, 1, 10.0)
+        stats.record(2, 3, 20.0, count=2)
+        assert stats.total_messages() == 3
+        assert stats.total_bytes() == 30.0
+        assert stats.links_used == 2
+
+    def test_weighted_cost(self):
+        stats = LinkStats({(0, 1): 2.0})
+        stats.record(0, 1, 10.0)
+        stats.record(1, 2, 10.0)  # unknown weight defaults to 1.0
+        assert stats.weighted_cost() == 30.0
+
+    def test_unused_link_zero(self):
+        stats = LinkStats()
+        assert stats.usage(5, 6).messages == 0
+
+    def test_merge(self):
+        a = LinkStats({(0, 1): 2.0})
+        a.record(0, 1, 10.0)
+        b = LinkStats()
+        b.record(0, 1, 5.0)
+        b.record(1, 2, 1.0)
+        a.merge(b)
+        assert a.usage(0, 1).bytes == 15.0
+        assert a.usage(1, 2).bytes == 1.0
+
+    def test_reset(self):
+        stats = LinkStats()
+        stats.record(0, 1, 10.0)
+        stats.reset()
+        assert stats.total_bytes() == 0.0
+
+    def test_as_dict(self):
+        stats = LinkStats()
+        stats.record(0, 1, 10.0)
+        assert stats.as_dict() == {(0, 1): (1, 10.0)}

@@ -1,0 +1,150 @@
+"""Topology construction, generators, shortest paths, MST."""
+
+import math
+import random
+
+import pytest
+
+from repro.overlay.topology import (
+    Topology,
+    TopologyError,
+    barabasi_albert,
+    edge_key,
+    waxman,
+)
+
+
+class TestTopology:
+    def test_add_edge_with_explicit_weight(self):
+        t = Topology()
+        t.add_edge(0, 1, 5.0)
+        assert t.weight(0, 1) == 5.0
+        assert t.weight(1, 0) == 5.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().add_edge(1, 1)
+
+    def test_distance_from_positions(self):
+        t = Topology()
+        t.add_node(0, (0.0, 0.0))
+        t.add_node(1, (3.0, 4.0))
+        assert t.distance(0, 1) == 5.0
+
+    def test_default_weight_is_distance(self):
+        t = Topology()
+        t.add_node(0, (0.0, 0.0))
+        t.add_node(1, (3.0, 4.0))
+        t.add_edge(0, 1)
+        assert t.weight(0, 1) == 5.0
+
+    def test_unknown_edge_raises(self):
+        t = Topology()
+        t.add_edge(0, 1)
+        with pytest.raises(TopologyError):
+            t.weight(0, 2)
+
+    def test_neighbors(self):
+        t = Topology()
+        t.add_edge(0, 1)
+        t.add_edge(0, 2)
+        assert t.neighbors(0) == {1, 2}
+        assert t.degree(0) == 2
+
+    def test_connectivity(self):
+        t = Topology()
+        t.add_edge(0, 1)
+        t.add_node(2)
+        assert not t.is_connected()
+        t.add_edge(1, 2)
+        assert t.is_connected()
+
+    def test_edge_key_canonical(self):
+        assert edge_key(5, 2) == (2, 5)
+
+
+class TestShortestPaths:
+    def _triangle(self):
+        t = Topology()
+        t.add_edge(0, 1, 1.0)
+        t.add_edge(1, 2, 1.0)
+        t.add_edge(0, 2, 5.0)
+        return t
+
+    def test_dijkstra_prefers_cheap_path(self):
+        dist = self._triangle().shortest_paths(0)
+        assert dist[2] == 2.0
+
+    def test_shortest_path_tree_parents(self):
+        parent = self._triangle().shortest_path_tree(0)
+        assert parent[2] == 1
+        assert parent[1] == 0
+
+    def test_unknown_source(self):
+        with pytest.raises(TopologyError):
+            self._triangle().shortest_paths(99)
+
+
+class TestMST:
+    def test_mst_size(self):
+        topo = barabasi_albert(50, 2, random.Random(0))
+        assert len(topo.minimum_spanning_tree_edges()) == 49
+
+    def test_mst_picks_cheapest(self):
+        t = Topology()
+        t.add_edge(0, 1, 1.0)
+        t.add_edge(1, 2, 1.0)
+        t.add_edge(0, 2, 10.0)
+        assert sorted(t.minimum_spanning_tree_edges()) == [(0, 1), (1, 2)]
+
+    def test_disconnected_raises(self):
+        t = Topology()
+        t.add_edge(0, 1)
+        t.add_node(5)
+        with pytest.raises(TopologyError):
+            t.minimum_spanning_tree_edges()
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        topo = barabasi_albert(100, 2, random.Random(1))
+        assert len(topo) == 100
+        # clique(3) + 2 per newcomer
+        assert len(topo.edges) == 3 + 2 * 97
+
+    def test_connected(self):
+        assert barabasi_albert(200, 2, random.Random(2)).is_connected()
+
+    def test_seed_reproducible(self):
+        a = barabasi_albert(60, 2, random.Random(7))
+        b = barabasi_albert(60, 2, random.Random(7))
+        assert a.edges == b.edges
+
+    def test_power_law_hubs_exist(self):
+        topo = barabasi_albert(300, 2, random.Random(3))
+        degrees = sorted((topo.degree(n) for n in topo.nodes), reverse=True)
+        # Preferential attachment concentrates degree in a few hubs.
+        assert degrees[0] >= 5 * degrees[len(degrees) // 2]
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            barabasi_albert(2, 2)
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(TopologyError):
+            barabasi_albert(10, 0)
+
+
+class TestWaxman:
+    def test_connected_after_patching(self):
+        assert waxman(80, rng=random.Random(5)).is_connected()
+
+    def test_seed_reproducible(self):
+        a = waxman(50, rng=random.Random(9))
+        b = waxman(50, rng=random.Random(9))
+        assert a.edges == b.edges
+
+    def test_higher_alpha_denser(self):
+        sparse = waxman(60, alpha=0.05, rng=random.Random(4))
+        dense = waxman(60, alpha=0.5, rng=random.Random(4))
+        assert len(dense.edges) > len(sparse.edges)

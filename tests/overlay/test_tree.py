@@ -1,0 +1,123 @@
+"""Dissemination trees: structure checks, paths, subtrees, mutation."""
+
+import random
+
+import pytest
+
+from repro.overlay.topology import barabasi_albert
+from repro.overlay.tree import DisseminationTree, TreeError
+
+
+class TestConstruction:
+    def test_cycle_rejected(self):
+        with pytest.raises(TreeError):
+            DisseminationTree([(0, 1), (1, 2), (2, 0)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(TreeError):
+            DisseminationTree([(0, 1), (2, 3)], nodes=[0, 1, 2, 3, 4])
+
+    def test_isolated_node_rejected(self):
+        with pytest.raises(TreeError):
+            DisseminationTree([(0, 1)], nodes=[0, 1, 2])
+
+    def test_minimum_spanning_covers_topology(self, small_topology):
+        tree = DisseminationTree.minimum_spanning(small_topology)
+        assert sorted(tree.nodes) == sorted(small_topology.nodes)
+        assert len(tree.edges) == len(small_topology) - 1
+
+    def test_shortest_path_tree(self, small_topology):
+        tree = DisseminationTree.shortest_path(small_topology, 0)
+        assert len(tree.edges) == len(small_topology) - 1
+
+    def test_default_weights(self):
+        tree = DisseminationTree([(0, 1)])
+        assert tree.weight(0, 1) == 1.0
+
+
+class TestPaths:
+    def test_path_endpoints(self, line_tree):
+        assert line_tree.path(0, 4) == [0, 1, 2, 3, 4]
+        assert line_tree.path(4, 0) == [4, 3, 2, 1, 0]
+
+    def test_path_same_node(self, line_tree):
+        assert line_tree.path(2, 2) == [2]
+
+    def test_path_through_branch(self, star_tree):
+        assert star_tree.path(1, 3) == [1, 0, 3]
+
+    def test_path_edges(self, line_tree):
+        assert line_tree.path_edges(1, 3) == [(1, 2), (2, 3)]
+
+    def test_path_weight(self, line_tree):
+        assert line_tree.path_weight(0, 4) == 4.0
+
+    def test_next_hop(self, line_tree):
+        assert line_tree.next_hop(0, 4) == 1
+
+    def test_next_hop_same_node_raises(self, line_tree):
+        with pytest.raises(TreeError):
+            line_tree.next_hop(2, 2)
+
+    def test_unknown_node_raises(self, line_tree):
+        with pytest.raises(TreeError):
+            line_tree.path(0, 99)
+
+    def test_path_matches_bfs_on_random_tree(self, small_tree):
+        # Cross-check the LCA path against edge-by-edge validity.
+        rng = random.Random(0)
+        nodes = small_tree.nodes
+        for __ in range(30):
+            a, b = rng.choice(nodes), rng.choice(nodes)
+            path = small_tree.path(a, b)
+            assert path[0] == a and path[-1] == b
+            assert len(set(path)) == len(path)
+            for u, v in zip(path, path[1:]):
+                assert v in small_tree.neighbors(u)
+
+
+class TestComponents:
+    def test_component_via(self, line_tree):
+        assert line_tree.component_via(2, 3) == {3, 4}
+        assert line_tree.component_via(2, 1) == {0, 1}
+
+    def test_component_via_star(self, star_tree):
+        assert star_tree.component_via(0, 1) == {1}
+        assert star_tree.component_via(1, 0) == {0, 2, 3, 4}
+
+    def test_component_via_non_neighbor(self, line_tree):
+        with pytest.raises(TreeError):
+            line_tree.component_via(0, 2)
+
+
+class TestMutation:
+    def test_edge_swap_valid(self, star_tree):
+        # Move leaf 4 under leaf 1.
+        swapped = star_tree.with_edge_swap((0, 4), (1, 4), 2.0)
+        assert swapped.path(4, 0) == [4, 1, 0]
+        assert swapped.weight(1, 4) == 2.0
+
+    def test_edge_swap_invalid_reconnect(self, line_tree):
+        # Removing (1,2) and adding (0,1) does not reconnect the halves.
+        with pytest.raises(TreeError):
+            line_tree.with_edge_swap((1, 2), (0, 1), 1.0)
+
+    def test_edge_swap_unknown_edge(self, line_tree):
+        with pytest.raises(TreeError):
+            line_tree.with_edge_swap((0, 4), (1, 4), 1.0)
+
+    def test_swap_leaves_original_untouched(self, star_tree):
+        star_tree.with_edge_swap((0, 4), (1, 4), 2.0)
+        assert star_tree.path(4, 0) == [4, 0]
+
+    def test_remove_leaf(self, line_tree):
+        components, forest = line_tree.remove_node(4)
+        assert components == [{0, 1, 2, 3}]
+
+    def test_remove_interior_splits(self, line_tree):
+        components, forest = line_tree.remove_node(2)
+        assert sorted(map(sorted, components)) == [[0, 1], [3, 4]]
+
+    def test_remove_hub_creates_singletons(self, star_tree):
+        components, __ = star_tree.remove_node(0)
+        assert sorted(map(sorted, components)) == [[1], [2], [3], [4]]

@@ -1,0 +1,61 @@
+"""Shared hypothesis strategies for the property-based tests."""
+
+from hypothesis import strategies as st
+
+from repro.cql.predicates import (
+    Comparison,
+    Conjunction,
+    DifferenceConstraint,
+    Interval,
+    JoinPredicate,
+)
+
+TERMS = ["S.a", "S.b", "S.c", "S.d"]
+
+values = st.integers(min_value=-20, max_value=20)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(st.one_of(st.none(), values))
+    hi = draw(st.one_of(st.none(), values))
+    lo_strict = draw(st.booleans()) if lo is not None else False
+    hi_strict = draw(st.booleans()) if hi is not None else False
+    return Interval(lo, hi, lo_strict, hi_strict)
+
+
+@st.composite
+def comparisons(draw):
+    term = draw(st.sampled_from(TERMS))
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+    return Comparison(term, op, draw(values))
+
+
+@st.composite
+def join_predicates(draw):
+    left = draw(st.sampled_from(TERMS))
+    right = draw(st.sampled_from([t for t in TERMS if t != left]))
+    return JoinPredicate(left, right)
+
+
+@st.composite
+def difference_constraints(draw):
+    left = draw(st.sampled_from(TERMS))
+    right = draw(st.sampled_from([t for t in TERMS if t != left]))
+    interval = draw(intervals())
+    return DifferenceConstraint(left, right, interval)
+
+
+atoms = st.one_of(comparisons(), join_predicates(), difference_constraints())
+
+
+@st.composite
+def conjunctions(draw, max_atoms=5):
+    atom_list = draw(st.lists(atoms, max_size=max_atoms))
+    return Conjunction.from_atoms(atom_list)
+
+
+@st.composite
+def bindings(draw):
+    """A full assignment of small integers to every term."""
+    return {term: draw(values) for term in TERMS}

@@ -1,0 +1,77 @@
+"""Failure injection: delivery survives random broker failures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cql.schema import Attribute, StreamSchema
+from repro.overlay.topology import barabasi_albert
+from repro.overlay.tree import DisseminationTree
+from repro.system.cosmos import CosmosSystem
+from repro.system.fault import FaultError, fail_broker
+
+SCHEMA = StreamSchema(
+    "Temp",
+    [Attribute("station", "int", 0, 9), Attribute("celsius", "float", -20, 40)],
+    rate=1.0,
+)
+
+#: Nodes with attached roles that must never be failed.
+PROTECTED = {0, 1, 2, 3}
+
+
+def _build(seed):
+    topo = barabasi_albert(25, 2, random.Random(seed))
+    tree = DisseminationTree.minimum_spanning(topo)
+    system = CosmosSystem(tree, processor_nodes=[0], topology=topo)
+    system.add_source(SCHEMA, 1)
+    handles = [
+        system.submit(
+            "SELECT T.celsius FROM Temp [Range 1 Hour] T WHERE T.celsius > 0",
+            user_node=2,
+            name="qa",
+        ),
+        system.submit(
+            "SELECT T.station FROM Temp [Range 1 Hour] T",
+            user_node=3,
+            name="qb",
+        ),
+    ]
+    return system, handles
+
+
+class TestRandomBrokerFailures:
+    @given(st.integers(min_value=0, max_value=30), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_delivery_after_each_failure(self, seed, data):
+        system, handles = _build(seed)
+        tick = [0.0]
+
+        def publish_and_check(expected_counts):
+            tick[0] += 1.0
+            system.publish(
+                "Temp", {"station": 1, "celsius": 20.0}, tick[0]
+            )
+            assert [h.result_count for h in handles] == expected_counts
+
+        publish_and_check([1, 1])
+        failures = data.draw(st.integers(min_value=1, max_value=3), label="failures")
+        done = 0
+        for round_index in range(failures):
+            candidates = [
+                n for n in system.tree.nodes if n not in PROTECTED
+            ]
+            if not candidates:
+                break
+            victim = data.draw(
+                st.sampled_from(sorted(candidates)), label=f"victim{round_index}"
+            )
+            try:
+                fail_broker(system, victim)
+            except FaultError:
+                # Physically partitioned survivors: a legitimate refusal.
+                continue
+            done += 1
+            publish_and_check([1 + done, 1 + done])

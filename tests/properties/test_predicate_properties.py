@@ -1,0 +1,109 @@
+"""Property-based checks of the predicate algebra.
+
+The implication test is allowed to be incomplete but must be *sound*:
+whenever it answers True, no binding may witness a counterexample.
+Same for hull (weaker than both), and_ (conjunction semantics),
+satisfiability (never False for a satisfied conjunction), and the
+atom round-trip.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cql.predicates import Conjunction, Interval
+
+from tests.properties.strategies import (
+    bindings,
+    conjunctions,
+    intervals,
+    values,
+)
+
+
+class TestIntervalLattice:
+    @given(intervals(), intervals(), values)
+    def test_intersection_is_conjunction(self, a, b, v):
+        meet = a.intersect(b)
+        assert meet.contains_value(v) == (a.contains_value(v) and b.contains_value(v))
+
+    @given(intervals(), intervals(), values)
+    def test_hull_is_weaker(self, a, b, v):
+        join = a.hull(b)
+        if a.contains_value(v) or b.contains_value(v):
+            assert join.contains_value(v)
+
+    @given(intervals(), intervals())
+    def test_containment_consistent_with_membership(self, a, b):
+        if a.contains_interval(b):
+            for probe in range(-25, 26):
+                if b.contains_value(probe):
+                    assert a.contains_value(probe)
+
+    @given(intervals())
+    def test_empty_interval_has_no_members(self, a):
+        if a.is_empty:
+            assert not any(a.contains_value(v) for v in range(-25, 26))
+
+    @given(intervals(), values)
+    def test_negate_membership(self, a, v):
+        assert a.negate().contains_value(-v) == a.contains_value(v)
+
+    @given(intervals(), values, st.integers(min_value=-5, max_value=5))
+    def test_shift_membership(self, a, v, d):
+        assert a.shift(d).contains_value(v + d) == a.contains_value(v)
+
+
+class TestConjunctionSemantics:
+    @given(conjunctions(), conjunctions(), bindings())
+    def test_and_is_logical_conjunction(self, a, b, binding):
+        both = a.and_(b)
+        assert both.evaluate(binding) == (a.evaluate(binding) and b.evaluate(binding))
+
+    @given(conjunctions(), conjunctions(), bindings())
+    def test_implication_sound(self, a, b, binding):
+        if a.implies(b) and a.evaluate(binding):
+            assert b.evaluate(binding)
+
+    @given(conjunctions(), conjunctions(), bindings())
+    def test_hull_implied_by_both(self, a, b, binding):
+        h = a.hull(b)
+        if a.evaluate(binding) or b.evaluate(binding):
+            assert h.evaluate(binding)
+
+    @given(conjunctions(), bindings())
+    def test_satisfiability_sound(self, c, binding):
+        # A conjunction some binding satisfies must be reported satisfiable.
+        if c.evaluate(binding):
+            assert c.is_satisfiable()
+
+    @given(conjunctions(), bindings())
+    def test_closure_preserves_semantics(self, c, binding):
+        assert c.closure().evaluate(binding) == c.evaluate(binding)
+
+    @given(conjunctions(), bindings())
+    def test_atom_roundtrip_preserves_semantics(self, c, binding):
+        rebuilt = Conjunction.from_atoms(c.atoms())
+        assert rebuilt.evaluate(binding) == c.evaluate(binding)
+
+    @given(conjunctions())
+    def test_implication_reflexive(self, c):
+        assert c.implies(c)
+
+    @given(conjunctions(), conjunctions(), conjunctions())
+    def test_implication_transitive(self, a, b, c):
+        if a.implies(b) and b.implies(c):
+            assert a.implies(c)
+
+    @given(conjunctions(), conjunctions())
+    def test_unimplied_atoms_matches_single_atom_implication(self, a, b):
+        residual = a.unimplied_atoms(b.atoms())
+        residual_strs = {str(atom) for atom in residual}
+        for atom in b.atoms():
+            single = Conjunction.from_atoms([atom])
+            assert (str(atom) not in residual_strs) == a.implies(single)
+
+    @given(conjunctions(), bindings())
+    def test_restrict_to_is_weaker(self, c, binding):
+        restricted = c.restrict_to({"S.a", "S.b"})
+        if c.evaluate(binding):
+            assert restricted.evaluate(binding)

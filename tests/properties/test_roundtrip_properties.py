@@ -1,0 +1,73 @@
+"""Property-based CQL text round-tripping on random query ASTs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cql.ast import Aggregate, ContinuousQuery, StreamRef, Window
+from repro.cql.parser import parse_query
+from repro.cql.predicates import AttrRef, Comparison, Conjunction, JoinPredicate
+from repro.cql.text import to_cql
+
+STREAMS = ["Alpha", "Beta"]
+ATTRS = ["x", "y", "z"]
+WINDOWS = [0.0, 60.0, 3600.0, float("inf")]
+
+
+@st.composite
+def random_queries(draw):
+    n_streams = draw(st.integers(min_value=1, max_value=2))
+    streams = tuple(
+        StreamRef(STREAMS[i], Window(draw(st.sampled_from(WINDOWS))))
+        for i in range(n_streams)
+    )
+    qualifiers = [ref.name for ref in streams]
+    atoms = []
+    for __ in range(draw(st.integers(min_value=0, max_value=3))):
+        qualifier = draw(st.sampled_from(qualifiers))
+        attr = draw(st.sampled_from(ATTRS))
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+        atoms.append(Comparison(f"{qualifier}.{attr}", op, draw(st.integers(-99, 99))))
+    if n_streams == 2 and draw(st.booleans()):
+        attr = draw(st.sampled_from(ATTRS))
+        atoms.append(JoinPredicate(f"{qualifiers[0]}.{attr}", f"{qualifiers[1]}.{attr}"))
+    if draw(st.booleans()):
+        select = tuple(
+            AttrRef(draw(st.sampled_from(qualifiers)), draw(st.sampled_from(ATTRS)))
+            for __ in range(draw(st.integers(min_value=1, max_value=3)))
+        )
+        group_by = ()
+    else:
+        qualifier = qualifiers[0]
+        select = (
+            Aggregate(
+                draw(st.sampled_from(["count", "sum", "avg", "min", "max"])),
+                AttrRef(qualifier, draw(st.sampled_from(ATTRS))),
+                "out",
+            ),
+        )
+        group_by = (AttrRef(qualifier, draw(st.sampled_from(ATTRS))),)
+        atoms = [a for a in atoms if isinstance(a, Comparison)]
+    return ContinuousQuery(
+        select_items=select,
+        streams=streams,
+        predicate=Conjunction.from_atoms(atoms),
+        group_by=group_by,
+    )
+
+
+class TestRoundTrip:
+    @given(random_queries())
+    @settings(max_examples=150, deadline=None)
+    def test_text_is_fixed_point(self, query):
+        once = to_cql(query)
+        assert to_cql(parse_query(once)) == once
+
+    @given(random_queries())
+    @settings(max_examples=150, deadline=None)
+    def test_semantics_preserved(self, query):
+        reparsed = parse_query(to_cql(query))
+        assert reparsed.predicate == query.predicate
+        assert [r.stream for r in reparsed.streams] == [r.stream for r in query.streams]
+        assert [r.window for r in reparsed.streams] == [r.window for r in query.streams]
+        assert reparsed.group_by == query.group_by
+        assert reparsed.is_aggregate == query.is_aggregate

@@ -1,0 +1,224 @@
+"""The hash-indexed join: identical semantics, different engine.
+
+The paper allows heterogeneous SPEs behind the wrapper boundary; the
+indexed engine is our second implementation.  Tests run it
+differentially against the nested-loop join.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cbn.datagram import Datagram
+from repro.cql.parser import parse_query
+from repro.cql.predicates import Conjunction, JoinPredicate
+from repro.spe.engine import EngineError, StreamProcessingEngine
+from repro.spe.indexed import (
+    IndexedSymmetricJoin,
+    IndexError_,
+    equijoin_key_pairs,
+    _HashedWindow,
+)
+from repro.spe.operators import JoinInput, SymmetricWindowJoin
+from repro.workload.auction import TABLE1_Q3, auction_catalog
+
+
+class TestHashedWindow:
+    def test_insert_and_probe(self):
+        window = _HashedWindow(100.0, ["k"])
+        window.insert(Datagram("S", {"k": 1, "v": "a"}, 0.0))
+        window.insert(Datagram("S", {"k": 2, "v": "b"}, 1.0))
+        assert [d.payload["v"] for d in window.probe((1,))] == ["a"]
+        assert window.probe((9,)) == []
+
+    def test_expiry_cleans_buckets(self):
+        window = _HashedWindow(5.0, ["k"])
+        window.insert(Datagram("S", {"k": 1}, 0.0))
+        window.expire(10.0)
+        assert window.probe((1,)) == []
+        assert len(window) == 0
+
+    def test_missing_key_attribute_skipped(self):
+        window = _HashedWindow(5.0, ["k"])
+        window.insert(Datagram("S", {"other": 1}, 0.0))
+        assert len(window) == 0
+
+
+class TestIndexedJoin:
+    def test_needs_key_pairs(self):
+        with pytest.raises(IndexError_):
+            IndexedSymmetricJoin(JoinInput("A", 1), JoinInput("B", 1), [])
+
+    def test_basic_equijoin(self):
+        join = IndexedSymmetricJoin(
+            JoinInput("A", 100), JoinInput("B", 100), [("k", "k")]
+        )
+        join.process("A", Datagram("SA", {"k": 1, "x": 10}, 0.0))
+        results = join.process("B", Datagram("SB", {"k": 1, "y": 20}, 1.0))
+        assert len(results) == 1
+        assert results[0]["A.x"] == 10 and results[0]["B.y"] == 20
+
+    def test_key_mismatch_no_result(self):
+        join = IndexedSymmetricJoin(
+            JoinInput("A", 100), JoinInput("B", 100), [("k", "k")]
+        )
+        join.process("A", Datagram("SA", {"k": 1}, 0.0))
+        assert join.process("B", Datagram("SB", {"k": 2}, 1.0)) == []
+
+    def test_window_expiry_respected(self):
+        join = IndexedSymmetricJoin(
+            JoinInput("A", 10), JoinInput("B", 0), [("k", "k")]
+        )
+        join.process("A", Datagram("SA", {"k": 1}, 0.0))
+        assert len(join.process("B", Datagram("SB", {"k": 1}, 10.0))) == 1
+        join2 = IndexedSymmetricJoin(
+            JoinInput("A", 10), JoinInput("B", 0), [("k", "k")]
+        )
+        join2.process("A", Datagram("SA", {"k": 1}, 0.0))
+        assert join2.process("B", Datagram("SB", {"k": 1}, 11.0)) == []
+
+    def test_unknown_qualifier(self):
+        join = IndexedSymmetricJoin(
+            JoinInput("A", 1), JoinInput("B", 1), [("k", "k")]
+        )
+        with pytest.raises(KeyError):
+            join.process("Z", Datagram("SZ", {"k": 1}, 0.0))
+
+
+class TestKeyPairExtraction:
+    def test_extracts_cross_links(self):
+        predicate = Conjunction.from_atoms(
+            [JoinPredicate("A.k", "B.k"), JoinPredicate("A.x", "B.y")]
+        )
+        assert equijoin_key_pairs(predicate, "A", "B") == [("k", "k"), ("x", "y")]
+
+    def test_ignores_internal_links(self):
+        predicate = Conjunction.from_atoms([JoinPredicate("A.x", "A.y")])
+        assert equijoin_key_pairs(predicate, "A", "B") == []
+
+    def test_orientation_independent(self):
+        predicate = Conjunction.from_atoms([JoinPredicate("B.y", "A.x")])
+        assert equijoin_key_pairs(predicate, "A", "B") == [("x", "y")]
+
+
+def _random_feed(rng, n):
+    feed = []
+    t = 0.0
+    for __ in range(n):
+        t += rng.uniform(0.0, 2.0)
+        stream = rng.choice(["A", "B"])
+        feed.append((stream, Datagram(stream, {"k": rng.randrange(4), "v": rng.random()}, t)))
+    return feed
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_nested_join(self, seed):
+        rng = random.Random(seed)
+        t_a = rng.choice([0.0, 1.0, 5.0, 50.0])
+        t_b = rng.choice([0.0, 1.0, 5.0, 50.0])
+        nested = SymmetricWindowJoin([JoinInput("A", t_a), JoinInput("B", t_b)])
+        indexed = IndexedSymmetricJoin(
+            JoinInput("A", t_a), JoinInput("B", t_b), [("k", "k")]
+        )
+        link = Conjunction.from_atoms([JoinPredicate("A.k", "B.k")])
+        for stream, datagram in _random_feed(rng, 60):
+            nested_out = [
+                b for b in nested.process(stream, datagram) if link.evaluate(b)
+            ]
+            indexed_out = indexed.process(stream, datagram)
+            key = lambda b: sorted(b.items())
+            assert sorted(map(key, nested_out)) == sorted(map(key, indexed_out))
+
+
+class TestEngineIntegration:
+    def test_indexed_engine_equals_nested_engine(self):
+        catalog = auction_catalog()
+        rng = random.Random(4)
+        feed = []
+        for item in range(60):
+            open_ts = item * 120.0
+            close_ts = open_ts + rng.expovariate(1.0 / (4 * 3600.0))
+            feed.append(
+                Datagram(
+                    "OpenAuction",
+                    {"itemID": item % 10, "sellerID": 1, "start_price": 2.0,
+                     "timestamp": open_ts},
+                    open_ts,
+                )
+            )
+            feed.append(
+                Datagram(
+                    "ClosedAuction",
+                    {"itemID": item % 10, "buyerID": 2, "timestamp": close_ts},
+                    close_ts,
+                )
+            )
+        feed.sort(key=lambda d: d.timestamp)
+
+        def run(strategy):
+            spe = StreamProcessingEngine(catalog, join_strategy=strategy)
+            spe.register(parse_query(TABLE1_Q3), "q3")
+            out = []
+            for datagram in feed:
+                out.extend(r.datagram for r in spe.push(datagram))
+            return sorted(
+                (d.timestamp, tuple(sorted(d.payload.items()))) for d in out
+            )
+
+        assert run("indexed") == run("nested")
+        assert len(run("indexed")) > 0
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(EngineError):
+            StreamProcessingEngine(auction_catalog(), join_strategy="quantum")
+
+    def test_single_stream_unaffected(self):
+        catalog = auction_catalog()
+        spe = StreamProcessingEngine(catalog, join_strategy="indexed")
+        spe.register(parse_query("SELECT O.itemID FROM OpenAuction O"), "q")
+        results = spe.push(
+            Datagram(
+                "OpenAuction",
+                {"itemID": 1, "sellerID": 1, "start_price": 1.0, "timestamp": 0.0},
+                0.0,
+            )
+        )
+        assert len(results) == 1
+
+    def test_mixed_engine_processors_agree(self, line_tree):
+        """Heterogeneous SPEs on different processors (section 2)."""
+        from repro.system.node import Processor
+
+        catalog = auction_catalog()
+        results = {}
+        for strategy in ("nested", "indexed"):
+            proc = Processor(1, catalog, join_strategy=strategy)
+            proc.accept(parse_query(TABLE1_Q3), name="q3")
+            out = []
+            out.extend(
+                proc.on_source_data(
+                    Datagram(
+                        "OpenAuction",
+                        {"itemID": 1, "sellerID": 1, "start_price": 1.0,
+                         "timestamp": 0.0},
+                        0.0,
+                    )
+                )
+            )
+            out.extend(
+                proc.on_source_data(
+                    Datagram(
+                        "ClosedAuction",
+                        {"itemID": 1, "buyerID": 2, "timestamp": 3600.0},
+                        3600.0,
+                    )
+                )
+            )
+            results[strategy] = [
+                tuple(sorted(d.payload.items())) for d in out
+            ]
+        assert results["nested"] == results["indexed"]
+        assert len(results["nested"]) == 1

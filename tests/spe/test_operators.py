@@ -1,0 +1,163 @@
+"""Select, project, symmetric window join (Lemma 1) and aggregation."""
+
+import pytest
+
+from repro.cbn.datagram import Datagram
+from repro.cql.predicates import Comparison, Conjunction, JoinPredicate
+from repro.spe.operators import (
+    AggregateSpec,
+    GroupedAggregate,
+    JoinInput,
+    Project,
+    Select,
+    SymmetricWindowJoin,
+    qualify,
+)
+
+
+def cond(*atoms):
+    return Conjunction.from_atoms(atoms)
+
+
+class TestQualify:
+    def test_prefixes_attributes(self):
+        binding = qualify("O", Datagram("OpenAuction", {"itemID": 1}, 5.0))
+        assert binding == {"O.itemID": 1, "O.timestamp": 5.0}
+
+    def test_explicit_timestamp_kept(self):
+        binding = qualify("O", Datagram("S", {"timestamp": 3.0}, 5.0))
+        assert binding["O.timestamp"] == 3.0
+
+
+class TestSelectProject:
+    def test_select_passes_and_blocks(self):
+        sel = Select(cond(Comparison("S.a", ">", 1)))
+        assert sel.process({"S.a": 2}) == {"S.a": 2}
+        assert sel.process({"S.a": 0}) is None
+
+    def test_project_renames(self):
+        proj = Project({"out": "S.a"})
+        assert proj.process({"S.a": 7, "S.b": 8}) == {"out": 7}
+
+    def test_project_missing_input_raises(self):
+        with pytest.raises(KeyError):
+            Project({"x": "S.missing"}).process({"S.a": 1})
+
+
+class TestSymmetricJoin:
+    def _join(self, t1=10.0, t2=0.0):
+        return SymmetricWindowJoin(
+            [JoinInput("A", t1), JoinInput("B", t2)]
+        )
+
+    def test_pair_within_windows(self):
+        join = self._join(t1=10, t2=0)
+        assert join.process("A", Datagram("SA", {"x": 1}, 0.0)) == []
+        results = join.process("B", Datagram("SB", {"y": 2}, 5.0))
+        assert len(results) == 1
+        assert results[0]["A.x"] == 1 and results[0]["B.y"] == 2
+
+    def test_lemma1_bounds(self):
+        # -T1 <= t1 - t2 <= T2 with T1=10, T2=0.
+        join = self._join(t1=10, t2=0)
+        join.process("A", Datagram("SA", {"x": 1}, 0.0))
+        # t1 - t2 = -11 violates the lower bound.
+        assert join.process("B", Datagram("SB", {"y": 2}, 11.0)) == []
+
+    def test_lemma1_upper_bound(self):
+        # B arrives first; A joining later needs t1 - t2 <= T2 = 4.
+        join = self._join(t1=0, t2=4)
+        join.process("B", Datagram("SB", {"y": 2}, 0.0))
+        assert len(join.process("A", Datagram("SA", {"x": 1}, 4.0))) == 1
+        join2 = self._join(t1=0, t2=4)
+        join2.process("B", Datagram("SB", {"y": 2}, 0.0))
+        assert join2.process("A", Datagram("SA", {"x": 1}, 5.0)) == []
+
+    def test_each_pair_produced_once(self):
+        join = self._join(t1=100, t2=100)
+        outs = []
+        outs += join.process("A", Datagram("SA", {"x": 1}, 0.0))
+        outs += join.process("B", Datagram("SB", {"y": 1}, 1.0))
+        outs += join.process("A", Datagram("SA", {"x": 2}, 2.0))
+        outs += join.process("B", Datagram("SB", {"y": 2}, 3.0))
+        assert len(outs) == 1 + 1 + 2  # pairs: (1,1); (2,1); (1,2),(2,2)
+
+    def test_three_way_join(self):
+        join = SymmetricWindowJoin(
+            [JoinInput("A", 10), JoinInput("B", 10), JoinInput("C", 10)]
+        )
+        join.process("A", Datagram("SA", {"x": 1}, 0.0))
+        join.process("B", Datagram("SB", {"y": 2}, 1.0))
+        results = join.process("C", Datagram("SC", {"z": 3}, 2.0))
+        assert len(results) == 1
+        assert set(results[0]) >= {"A.x", "B.y", "C.z"}
+
+    def test_single_input_passthrough(self):
+        join = SymmetricWindowJoin([JoinInput("S", 10)])
+        results = join.process("S", Datagram("X", {"a": 1}, 0.0))
+        assert results == [{"S.a": 1, "S.timestamp": 0.0}]
+
+    def test_unknown_input_raises(self):
+        with pytest.raises(KeyError):
+            self._join().process("Z", Datagram("SZ", {}, 0.0))
+
+    def test_now_window_same_instant_only(self):
+        join = self._join(t1=0, t2=0)
+        join.process("A", Datagram("SA", {"x": 1}, 5.0))
+        assert len(join.process("B", Datagram("SB", {"y": 1}, 5.0))) == 1
+        assert join.process("B", Datagram("SB", {"y": 2}, 6.0)) == []
+
+
+class TestGroupedAggregate:
+    def _agg(self, window=100.0, pre=None):
+        return GroupedAggregate(
+            "S",
+            window,
+            ["S.station"],
+            [
+                AggregateSpec("avg", "S.temp", "avg_temp"),
+                AggregateSpec("count", None, "n"),
+            ],
+            pre_filter=pre,
+        )
+
+    def test_emits_updated_group_row(self):
+        agg = self._agg()
+        r1 = agg.process(Datagram("S", {"station": 1, "temp": 10.0}, 0.0))
+        assert r1 == [{"S.station": 1, "avg_temp": 10.0, "n": 1}]
+        r2 = agg.process(Datagram("S", {"station": 1, "temp": 20.0}, 1.0))
+        assert r2 == [{"S.station": 1, "avg_temp": 15.0, "n": 2}]
+
+    def test_groups_independent(self):
+        agg = self._agg()
+        agg.process(Datagram("S", {"station": 1, "temp": 10.0}, 0.0))
+        r = agg.process(Datagram("S", {"station": 2, "temp": 30.0}, 1.0))
+        assert r == [{"S.station": 2, "avg_temp": 30.0, "n": 1}]
+
+    def test_window_expiry_affects_aggregate(self):
+        agg = self._agg(window=5.0)
+        agg.process(Datagram("S", {"station": 1, "temp": 10.0}, 0.0))
+        r = agg.process(Datagram("S", {"station": 1, "temp": 30.0}, 10.0))
+        assert r == [{"S.station": 1, "avg_temp": 30.0, "n": 1}]
+
+    def test_pre_filter_excludes_from_window(self):
+        pre = cond(Comparison("S.temp", ">", 0))
+        agg = self._agg(pre=pre)
+        assert agg.process(Datagram("S", {"station": 1, "temp": -5.0}, 0.0)) == []
+        r = agg.process(Datagram("S", {"station": 1, "temp": 10.0}, 1.0))
+        assert r[0]["n"] == 1  # the filtered tuple never entered
+
+    def test_min_max_sum(self):
+        agg = GroupedAggregate(
+            "S",
+            100.0,
+            [],
+            [
+                AggregateSpec("min", "S.v", "lo"),
+                AggregateSpec("max", "S.v", "hi"),
+                AggregateSpec("sum", "S.v", "total"),
+            ],
+        )
+        agg.process(Datagram("S", {"v": 3}, 0.0))
+        r = agg.process(Datagram("S", {"v": 7}, 1.0))
+        assert r == [{"lo": 3, "hi": 7, "total": 10}]

@@ -1,0 +1,67 @@
+"""Sliding window buffers."""
+
+import math
+
+import pytest
+
+from repro.cbn.datagram import Datagram
+from repro.spe.windows import WindowBuffer, WindowError
+
+
+def dg(ts, **payload):
+    return Datagram("S", payload or {"v": ts}, ts)
+
+
+class TestInsertion:
+    def test_in_order_accepted(self):
+        buf = WindowBuffer(10)
+        buf.insert(dg(1))
+        buf.insert(dg(1))  # equal timestamps fine
+        buf.insert(dg(2))
+        assert len(buf) == 3
+
+    def test_out_of_order_rejected(self):
+        buf = WindowBuffer(10)
+        buf.insert(dg(5))
+        with pytest.raises(WindowError):
+            buf.insert(dg(4))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(WindowError):
+            WindowBuffer(-1)
+
+
+class TestExpiry:
+    def test_expire_drops_old(self):
+        buf = WindowBuffer(10)
+        buf.insert(dg(0))
+        buf.insert(dg(5))
+        expired = buf.expire(12)
+        assert [d.timestamp for d in expired] == [0]
+        assert [d.timestamp for d in buf] == [5]
+
+    def test_boundary_tuple_stays(self):
+        # At now=10 with size 10, the ts=0 tuple is exactly on the edge.
+        buf = WindowBuffer(10)
+        buf.insert(dg(0))
+        assert buf.expire(10) == []
+        assert len(buf) == 1
+
+    def test_now_window_keeps_only_same_instant(self):
+        buf = WindowBuffer(0)
+        buf.insert(dg(1))
+        buf.insert(dg(2))
+        buf.expire(2)
+        assert [d.timestamp for d in buf] == [2]
+
+    def test_unbounded_never_expires(self):
+        buf = WindowBuffer(math.inf)
+        buf.insert(dg(0))
+        assert buf.expire(1e15) == []
+        assert len(buf) == 1
+
+    def test_contents_with_now_expires_first(self):
+        buf = WindowBuffer(5)
+        buf.insert(dg(0))
+        buf.insert(dg(4))
+        assert [d.timestamp for d in buf.contents(now=7)] == [4]

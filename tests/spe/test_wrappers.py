@@ -1,0 +1,61 @@
+"""Data/query wrappers — the pluggable-SPE boundary."""
+
+from repro.cbn.datagram import Datagram
+from repro.cql.parser import parse_query
+from repro.spe.wrappers import (
+    IdentityDataWrapper,
+    IdentityQueryWrapper,
+    ListDataWrapper,
+    TextQueryWrapper,
+)
+
+
+class TestIdentityWrappers:
+    def test_data_roundtrip(self):
+        wrapper = IdentityDataWrapper()
+        d = Datagram("S", {"a": 1}, 2.0)
+        assert wrapper.from_engine(wrapper.to_engine(d)) == d
+
+    def test_query_roundtrip(self):
+        wrapper = IdentityQueryWrapper()
+        q = parse_query("SELECT S.a FROM S")
+        assert wrapper.from_engine(wrapper.to_engine(q)) is q
+
+
+class TestTextQueryWrapper:
+    def test_roundtrip_preserves_structure(self):
+        wrapper = TextQueryWrapper()
+        q = parse_query(
+            "SELECT O.* FROM OpenAuction [Range 3 Hour] O, "
+            "ClosedAuction [Now] C WHERE O.itemID = C.itemID"
+        )
+        text = wrapper.to_engine(q)
+        assert isinstance(text, str)
+        back = wrapper.from_engine(text)
+        assert len(back.streams) == 2
+        assert back.streams[0].window.size == 3 * 3600
+
+    def test_roundtrip_predicate(self):
+        wrapper = TextQueryWrapper()
+        q = parse_query("SELECT S.a FROM S WHERE S.a >= 1 AND S.a <= 5")
+        back = wrapper.from_engine(wrapper.to_engine(q))
+        assert back.predicate == q.predicate
+
+
+class TestListDataWrapper:
+    def test_roundtrip(self):
+        wrapper = ListDataWrapper(["a", "b"])
+        d = Datagram("S", {"a": 1, "b": 2}, 3.0)
+        stream, ts, values = wrapper.to_engine(d)
+        assert (stream, ts, values) == ("S", 3.0, [1, 2])
+        assert wrapper.from_engine((stream, ts, values)) == d
+
+    def test_missing_attributes_become_none(self):
+        wrapper = ListDataWrapper(["a", "b"])
+        __, __, values = wrapper.to_engine(Datagram("S", {"a": 1}, 0.0))
+        assert values == [1, None]
+
+    def test_none_dropped_on_return(self):
+        wrapper = ListDataWrapper(["a", "b"])
+        d = wrapper.from_engine(("S", 0.0, [1, None]))
+        assert dict(d.payload) == {"a": 1}

@@ -1,0 +1,255 @@
+"""The end-to-end COSMOS system facade."""
+
+import pytest
+
+from repro.system.cosmos import CosmosSystem, SystemError_
+from repro.workload.auction import (
+    CLOSED_AUCTION_SCHEMA,
+    OPEN_AUCTION_SCHEMA,
+    TABLE1_Q1,
+    TABLE1_Q2,
+)
+
+
+@pytest.fixture
+def system(line_tree):
+    sys_ = CosmosSystem(line_tree, processor_nodes=[2])
+    sys_.add_source(OPEN_AUCTION_SCHEMA, 0)
+    sys_.add_source(CLOSED_AUCTION_SCHEMA, 0)
+    return sys_
+
+
+def open_auction(system, item, ts, seller=1, price=10.0):
+    return system.publish(
+        "OpenAuction",
+        {"itemID": item, "sellerID": seller, "start_price": price, "timestamp": ts},
+        ts,
+    )
+
+
+def close_auction(system, item, ts, buyer=9):
+    return system.publish(
+        "ClosedAuction", {"itemID": item, "buyerID": buyer, "timestamp": ts}, ts
+    )
+
+
+class TestSubmission:
+    def test_submit_text_query(self, system):
+        handle = system.submit(TABLE1_Q1, user_node=4, name="q1")
+        assert handle.processor_node == 2
+        assert handle.result_stream.endswith(":results")
+
+    def test_duplicate_name_rejected(self, system):
+        system.submit(TABLE1_Q1, user_node=4, name="q1")
+        with pytest.raises(SystemError_):
+            system.submit(TABLE1_Q2, user_node=4, name="q1")
+
+    def test_unknown_user_node(self, system):
+        with pytest.raises(SystemError_):
+            system.submit(TABLE1_Q1, user_node=77)
+
+    def test_unknown_stream_source(self, system):
+        with pytest.raises(SystemError_):
+            system.source_node("Nope")
+
+    def test_grouping_summary(self, system):
+        system.submit(TABLE1_Q1, user_node=4, name="q1")
+        system.submit(TABLE1_Q2, user_node=3, name="q2")
+        summary = system.grouping_summary()
+        assert summary["queries"] == 2.0
+        assert summary["groups"] == 1.0
+        assert summary["benefit_ratio"] > 0
+
+
+class TestDataFlow:
+    def test_end_to_end_delivery(self, system):
+        h1 = system.submit(TABLE1_Q1, user_node=4, name="q1")
+        open_auction(system, 1, 0.0)
+        deliveries = close_auction(system, 1, 3600.0)
+        assert len(deliveries) == 1
+        assert h1.result_count == 1
+        payload = dict(h1.results[0].payload)
+        assert payload["OpenAuction.itemID"] == 1
+
+    def test_window_split_between_members(self, system):
+        h1 = system.submit(TABLE1_Q1, user_node=4, name="q1")
+        h2 = system.submit(TABLE1_Q2, user_node=3, name="q2")
+        open_auction(system, 1, 0.0)
+        close_auction(system, 1, 2 * 3600.0)    # 2h: both
+        open_auction(system, 2, 3 * 3600.0)
+        close_auction(system, 2, 7.5 * 3600.0)  # 4.5h: only q2
+        assert h1.result_count == 1
+        assert h2.result_count == 2
+
+    def test_projection_per_member(self, system):
+        h2 = system.submit(TABLE1_Q2, user_node=3, name="q2")
+        open_auction(system, 1, 0.0)
+        close_auction(system, 1, 60.0)
+        payload = dict(h2.results[0].payload)
+        assert set(payload) == {
+            "OpenAuction.itemID",
+            "OpenAuction.timestamp",
+            "ClosedAuction.buyerID",
+            "ClosedAuction.timestamp",
+        }
+
+    def test_no_queries_no_delivery(self, system):
+        assert open_auction(system, 1, 0.0) == []
+
+    def test_replay_counts_deliveries(self, system):
+        from repro.cbn.datagram import Datagram
+
+        system.submit(TABLE1_Q2, user_node=4, name="q2")
+        feed = [
+            Datagram("OpenAuction", {"itemID": 1, "sellerID": 1, "start_price": 1.0, "timestamp": 0.0}, 0.0),
+            Datagram("ClosedAuction", {"itemID": 1, "buyerID": 1, "timestamp": 10.0}, 10.0),
+        ]
+        assert system.replay(feed) == 1
+
+    def test_data_cost_accumulates(self, system):
+        system.submit(TABLE1_Q1, user_node=4, name="q1")
+        open_auction(system, 1, 0.0)
+        close_auction(system, 1, 60.0)
+        assert system.data_cost() > 0
+
+
+class TestWithdraw:
+    def test_withdraw_stops_delivery(self, system):
+        system.submit(TABLE1_Q1, user_node=4, name="q1")
+        system.withdraw("q1")
+        open_auction(system, 1, 0.0)
+        assert close_auction(system, 1, 60.0) == []
+
+    def test_withdraw_member_keeps_other(self, system):
+        system.submit(TABLE1_Q1, user_node=4, name="q1")
+        h2 = system.submit(TABLE1_Q2, user_node=3, name="q2")
+        system.withdraw("q1")
+        open_auction(system, 1, 0.0)
+        close_auction(system, 1, 60.0)
+        assert h2.result_count == 1
+
+    def test_withdraw_unknown(self, system):
+        with pytest.raises(SystemError_):
+            system.withdraw("zzz")
+
+
+class TestMergingToggle:
+    def test_non_merging_system_runs_queries_separately(self, line_tree):
+        sys_ = CosmosSystem(line_tree, processor_nodes=[2], merging=False)
+        sys_.add_source(OPEN_AUCTION_SCHEMA, 0)
+        sys_.add_source(CLOSED_AUCTION_SCHEMA, 0)
+        sys_.submit(TABLE1_Q1, user_node=4, name="q1")
+        sys_.submit(TABLE1_Q2, user_node=3, name="q2")
+        assert sys_.grouping_summary()["groups"] == 2.0
+
+    def test_merging_and_non_merging_agree_on_results(self, line_tree):
+        def build(merging):
+            sys_ = CosmosSystem(line_tree, processor_nodes=[2], merging=merging)
+            sys_.add_source(OPEN_AUCTION_SCHEMA, 0)
+            sys_.add_source(CLOSED_AUCTION_SCHEMA, 0)
+            h1 = sys_.submit(TABLE1_Q1, user_node=4, name="q1")
+            h2 = sys_.submit(TABLE1_Q2, user_node=3, name="q2")
+            open_auction(sys_, 1, 0.0)
+            close_auction(sys_, 1, 3600.0)
+            open_auction(sys_, 2, 4000.0)
+            close_auction(sys_, 2, 4000.0 + 4 * 3600.0)
+            return h1.result_count, h2.result_count
+
+        assert build(True) == build(False) == (1, 2)
+
+
+class TestProcessorPlacement:
+    def test_processor_not_in_tree_rejected(self, line_tree):
+        with pytest.raises(SystemError_):
+            CosmosSystem(line_tree, processor_nodes=[99])
+
+    def test_brokers_are_rest_of_nodes(self, system):
+        assert set(system.brokers) == {0, 1, 3, 4}
+
+
+class TestPerSourceTrees:
+    def test_requires_topology(self, line_tree):
+        from repro.system.cosmos import SystemError_
+
+        with pytest.raises(SystemError_):
+            CosmosSystem(line_tree, processor_nodes=[2], per_source_trees=True)
+
+    def test_results_identical_with_source_trees(self):
+        import random
+
+        from repro.overlay.topology import barabasi_albert
+        from repro.overlay.tree import DisseminationTree
+
+        def build(per_source_trees):
+            topo = barabasi_albert(30, 2, random.Random(21))
+            tree = DisseminationTree.minimum_spanning(topo)
+            system = CosmosSystem(
+                tree,
+                processor_nodes=[2],
+                topology=topo,
+                per_source_trees=per_source_trees,
+            )
+            system.add_source(OPEN_AUCTION_SCHEMA, 5)
+            system.add_source(CLOSED_AUCTION_SCHEMA, 6)
+            handle = system.submit(TABLE1_Q2, user_node=9, name="q2")
+            system.publish(
+                "OpenAuction",
+                {"itemID": 1, "sellerID": 1, "start_price": 1.0, "timestamp": 0.0},
+                0.0,
+            )
+            system.publish(
+                "ClosedAuction",
+                {"itemID": 1, "buyerID": 2, "timestamp": 3600.0},
+                3600.0,
+            )
+            payloads = sorted(
+                tuple(sorted(r.payload.items())) for r in handle.results
+            )
+            return payloads, system.data_cost()
+
+        flat_results, flat_cost = build(False)
+        src_results, src_cost = build(True)
+        assert flat_results == src_results
+        # Shortest-path trees from each source never cost more (delay
+        # weighted) than the shared MST for source dissemination.
+        assert src_cost <= flat_cost * 1.05
+
+
+class TestWithdrawRefreshesSurvivors:
+    def test_surviving_member_keeps_receiving(self, line_tree):
+        """Regression: withdrawing a member narrows the representative;
+        the survivors' result subscriptions must be recomposed or their
+        old re-tightening filters reference attributes the new result
+        stream no longer carries."""
+        from repro.cql.schema import Attribute, StreamSchema
+
+        schema = StreamSchema(
+            "Temp",
+            [
+                Attribute("station", "int", 0, 9),
+                Attribute("humidity", "float", 0, 100),
+                Attribute("temperature", "float", -20, 40),
+            ],
+            rate=1.0,
+        )
+        sys_ = CosmosSystem(line_tree, processor_nodes=[2])
+        sys_.add_source(schema, 0)
+        sys_.submit(
+            "SELECT T.station, T.humidity FROM Temp T WHERE T.temperature >= 10",
+            user_node=4,
+            name="a",
+        )
+        hb = sys_.submit(
+            "SELECT T.station, T.humidity FROM Temp T WHERE T.temperature >= 12",
+            user_node=3,
+            name="b",
+        )
+        assert sys_.grouping_summary()["groups"] == 1  # they merged
+        sys_.publish("Temp", {"station": 1, "humidity": 50.0, "temperature": 35.0}, 0.0)
+        assert hb.result_count == 1
+        sys_.withdraw("a")
+        sys_.publish("Temp", {"station": 2, "humidity": 51.0, "temperature": 36.0}, 1.0)
+        sys_.publish("Temp", {"station": 3, "humidity": 52.0, "temperature": 11.0}, 2.0)
+        assert hb.result_count == 2  # got the hot one, not the 11° one
+        payloads = [dict(r.payload) for r in hb.results]
+        assert all(set(p) == {"Temp.station", "Temp.humidity"} for p in payloads)

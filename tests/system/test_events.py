@@ -1,0 +1,72 @@
+"""The discrete-event simulator."""
+
+import pytest
+
+from repro.system.events import EventSimulator, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_equal_times_fifo(self):
+        sim = EventSimulator()
+        log = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_past_scheduling_rejected(self):
+        sim = EventSimulator(start=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(5.0, lambda: None)
+
+    def test_schedule_in(self):
+        sim = EventSimulator(start=3.0)
+        fired = []
+        sim.schedule_in(2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_run_until_bound(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(10.0, lambda: log.append(10))
+        processed = sim.run(until=5.0)
+        assert processed == 1
+        assert log == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_events_can_schedule_events(self):
+        sim = EventSimulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule_in(1.0, lambda: log.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_returns_processed_count(self):
+        sim = EventSimulator()
+        for t in range(5):
+            sim.schedule(float(t), lambda: None)
+        assert sim.run() == 5

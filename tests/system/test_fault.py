@@ -1,0 +1,160 @@
+"""Two-layer fault tolerance."""
+
+import random
+
+import pytest
+
+from repro.overlay.topology import Topology, barabasi_albert
+from repro.overlay.tree import DisseminationTree
+from repro.system.cosmos import CosmosSystem
+from repro.system.fault import FaultError, fail_broker, fail_processor, repair_tree
+from repro.workload.auction import (
+    CLOSED_AUCTION_SCHEMA,
+    OPEN_AUCTION_SCHEMA,
+    TABLE1_Q1,
+    TABLE1_Q2,
+)
+
+
+def diamond_topology():
+    """0-1, 1-2, 0-3, 3-2: two disjoint routes from 0 to 2."""
+    t = Topology()
+    t.add_edge(0, 1, 1.0)
+    t.add_edge(1, 2, 1.0)
+    t.add_edge(0, 3, 1.0)
+    t.add_edge(3, 2, 1.0)
+    return t
+
+
+class TestRepairTree:
+    def test_leaf_removal_trivial(self):
+        topo = diamond_topology()
+        tree = DisseminationTree([(0, 1), (1, 2), (0, 3)], {(0, 1): 1.0, (1, 2): 1.0, (0, 3): 1.0})
+        repaired = repair_tree(tree, topo, 3)
+        assert sorted(repaired.nodes) == [0, 1, 2]
+        assert len(repaired.edges) == 2
+
+    def test_interior_removal_reconnects(self):
+        topo = diamond_topology()
+        tree = DisseminationTree([(0, 1), (1, 2), (0, 3)], {(0, 1): 1.0, (1, 2): 1.0, (0, 3): 1.0})
+        repaired = repair_tree(tree, topo, 1)
+        assert sorted(repaired.nodes) == [0, 2, 3]
+        assert repaired.path(0, 2)  # connected again
+
+    def test_repair_avoids_failed_node_links(self):
+        topo = diamond_topology()
+        tree = DisseminationTree([(0, 1), (1, 2), (0, 3)], {(0, 1): 1.0, (1, 2): 1.0, (0, 3): 1.0})
+        repaired = repair_tree(tree, topo, 1)
+        for edge in repaired.edges:
+            assert 1 not in edge
+
+    def test_partition_detected(self):
+        topo = Topology()
+        topo.add_edge(0, 1, 1.0)
+        topo.add_edge(1, 2, 1.0)
+        tree = DisseminationTree([(0, 1), (1, 2)], {(0, 1): 1.0, (1, 2): 1.0})
+        with pytest.raises(FaultError):
+            repair_tree(tree, topo, 1)  # 1 is a physical cut vertex
+
+    def test_random_tree_repair(self):
+        rng = random.Random(5)
+        topo = barabasi_albert(40, 2, rng)
+        tree = DisseminationTree.minimum_spanning(topo)
+        # Remove an interior node (degree > 1).
+        victim = max(tree.nodes, key=tree.degree)
+        repaired = repair_tree(tree, topo, victim)
+        assert len(repaired.nodes) == 39
+        assert len(repaired.edges) == 38
+
+
+@pytest.fixture
+def running_system():
+    rng = random.Random(9)
+    topo = barabasi_albert(20, 2, rng)
+    tree = DisseminationTree.minimum_spanning(topo)
+    # Pick processor nodes that stay alive.
+    system = CosmosSystem(tree, processor_nodes=[0, 1], topology=topo)
+    system.add_source(OPEN_AUCTION_SCHEMA, 2)
+    system.add_source(CLOSED_AUCTION_SCHEMA, 2)
+    h1 = system.submit(TABLE1_Q1, user_node=3, name="q1")
+    h2 = system.submit(TABLE1_Q2, user_node=4, name="q2")
+    return system, h1, h2
+
+
+def publish_pair(system, item, open_ts, close_ts):
+    system.publish(
+        "OpenAuction",
+        {"itemID": item, "sellerID": 1, "start_price": 1.0, "timestamp": open_ts},
+        open_ts,
+    )
+    return system.publish(
+        "ClosedAuction",
+        {"itemID": item, "buyerID": 1, "timestamp": close_ts},
+        close_ts,
+    )
+
+
+class TestBrokerFailure:
+    def test_delivery_survives_broker_failure(self, running_system):
+        system, h1, h2 = running_system
+        publish_pair(system, 1, 0.0, 3600.0)
+        before = (h1.result_count, h2.result_count)
+        assert before == (1, 1)
+        # Fail some pure broker that is not source/user/processor.
+        protected = {0, 1, 2, 3, 4}
+        victim = next(n for n in system.tree.nodes if n not in protected)
+        fail_broker(system, victim)
+        publish_pair(system, 2, 7200.0, 7200.0 + 3600.0)
+        assert (h1.result_count, h2.result_count) == (2, 2)
+
+    def test_failed_broker_gone_from_tree(self, running_system):
+        system, __, __ = running_system
+        protected = {0, 1, 2, 3, 4}
+        victim = next(n for n in system.tree.nodes if n not in protected)
+        repaired = fail_broker(system, victim)
+        assert victim not in repaired
+
+    def test_processor_cannot_fail_as_broker(self, running_system):
+        system, __, __ = running_system
+        with pytest.raises(FaultError):
+            fail_broker(system, 0)
+
+    def test_source_host_protected(self, running_system):
+        system, __, __ = running_system
+        with pytest.raises(FaultError):
+            fail_broker(system, 2)
+
+    def test_needs_topology(self, line_tree):
+        system = CosmosSystem(line_tree, processor_nodes=[0])
+        with pytest.raises(FaultError):
+            fail_broker(system, 3)
+
+
+class TestProcessorFailure:
+    def test_queries_rehomed(self, running_system):
+        system, h1, h2 = running_system
+        victims = {h1.processor_node, h2.processor_node}
+        assert len(victims) == 1  # stream affinity puts both together
+        victim = victims.pop()
+        rehomed = fail_processor(system, victim)
+        assert sorted(rehomed) == ["q1", "q2"]
+        survivors = {h.processor_node for h in system.queries}
+        assert victim not in survivors
+
+    def test_delivery_resumes_after_rehoming(self, running_system):
+        system, h1, __ = running_system
+        victim = h1.processor_node
+        fail_processor(system, victim)
+        new_h1 = system.query("q1")
+        publish_pair(system, 5, 0.0, 1800.0)
+        assert new_h1.result_count == 1
+
+    def test_last_processor_protected(self, line_tree):
+        system = CosmosSystem(line_tree, processor_nodes=[2])
+        with pytest.raises(FaultError):
+            fail_processor(system, 2)
+
+    def test_non_processor_rejected(self, running_system):
+        system, __, __ = running_system
+        with pytest.raises(FaultError):
+            fail_processor(system, 7)

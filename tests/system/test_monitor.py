@@ -1,0 +1,76 @@
+"""The system monitor."""
+
+import pytest
+
+from repro.system.cosmos import CosmosSystem
+from repro.system.monitor import SystemMonitor
+from repro.workload.auction import (
+    CLOSED_AUCTION_SCHEMA,
+    OPEN_AUCTION_SCHEMA,
+    TABLE1_Q1,
+    TABLE1_Q2,
+)
+
+
+@pytest.fixture
+def busy_system(line_tree):
+    system = CosmosSystem(line_tree, processor_nodes=[2])
+    system.add_source(OPEN_AUCTION_SCHEMA, 0)
+    system.add_source(CLOSED_AUCTION_SCHEMA, 0)
+    system.submit(TABLE1_Q1, user_node=4, name="q1")
+    system.submit(TABLE1_Q2, user_node=3, name="q2")
+    system.publish(
+        "OpenAuction",
+        {"itemID": 1, "sellerID": 1, "start_price": 1.0, "timestamp": 0.0},
+        0.0,
+    )
+    system.publish(
+        "ClosedAuction", {"itemID": 1, "buyerID": 2, "timestamp": 60.0}, 60.0
+    )
+    return system
+
+
+class TestProcessorLoads:
+    def test_counts(self, busy_system):
+        monitor = SystemMonitor(busy_system)
+        (load,) = monitor.processor_loads()
+        assert load.node_id == 2
+        assert load.queries == 2
+        assert load.groups == 1
+        assert load.grouping_ratio == 0.5
+        assert load.merged_rate > 0
+
+    def test_imbalance_single_processor(self, busy_system):
+        assert SystemMonitor(busy_system).load_imbalance() == 1.0
+
+    def test_imbalance_empty_system(self, line_tree):
+        system = CosmosSystem(line_tree, processor_nodes=[2])
+        assert SystemMonitor(system).load_imbalance() == 1.0
+
+
+class TestDataLayer:
+    def test_hottest_links_ordered(self, busy_system):
+        spots = SystemMonitor(busy_system).hottest_links()
+        assert spots
+        sizes = [s.bytes for s in spots]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_routing_pressure_keys(self, busy_system):
+        pressure = SystemMonitor(busy_system).routing_pressure()
+        assert pressure["subscriptions"] >= 3  # 2 users + 1 source profile
+        assert pressure["data_bytes"] > 0
+        assert pressure["routing_entries"] > 0
+
+
+class TestReport:
+    def test_report_contains_sections(self, busy_system):
+        report = SystemMonitor(busy_system).report()
+        assert "Query layer" in report
+        assert "Hottest links" in report
+        assert "Data layer" in report
+
+    def test_report_on_idle_system(self, line_tree):
+        system = CosmosSystem(line_tree, processor_nodes=[2])
+        report = SystemMonitor(system).report()
+        assert "Query layer" in report
+        assert "Hottest links" not in report  # no traffic yet

@@ -1,0 +1,82 @@
+"""The auction workload (Table 1 application)."""
+
+import random
+
+import pytest
+
+from repro.cql.parser import parse_query
+from repro.workload.auction import (
+    AuctionWorkload,
+    TABLE1_Q1,
+    TABLE1_Q2,
+    TABLE1_Q3,
+    auction_catalog,
+)
+
+
+class TestSchemas:
+    def test_catalog_contents(self):
+        catalog = auction_catalog()
+        assert "OpenAuction" in catalog
+        assert "ClosedAuction" in catalog
+        assert catalog.get("OpenAuction").has_attribute("start_price")
+
+    def test_table1_queries_parse_and_validate(self):
+        catalog = auction_catalog()
+        for text in (TABLE1_Q1, TABLE1_Q2, TABLE1_Q3):
+            parse_query(text).validate(catalog)
+
+
+class TestWorkload:
+    def test_every_item_opens_and_closes(self):
+        feed = AuctionWorkload(random.Random(0)).feed(50)
+        opens = [d for d in feed if d.stream == "OpenAuction"]
+        closes = [d for d in feed if d.stream == "ClosedAuction"]
+        assert len(opens) == len(closes) == 50
+        assert {d.payload["itemID"] for d in opens} == set(range(50))
+
+    def test_timestamp_ordered(self):
+        feed = AuctionWorkload(random.Random(1)).feed(100)
+        timestamps = [d.timestamp for d in feed]
+        assert timestamps == sorted(timestamps)
+
+    def test_close_after_open(self):
+        feed = AuctionWorkload(random.Random(2)).feed(80)
+        open_time = {}
+        for datagram in feed:
+            item = datagram.payload["itemID"]
+            if datagram.stream == "OpenAuction":
+                open_time[item] = datagram.timestamp
+            else:
+                assert datagram.timestamp >= open_time[item]
+
+    def test_mean_duration_controls_close_fraction(self):
+        fast = AuctionWorkload(random.Random(3), mean_duration=600.0).feed(200)
+        slow = AuctionWorkload(random.Random(3), mean_duration=10 * 3600.0).feed(200)
+
+        def within_3h(feed):
+            opens = {
+                d.payload["itemID"]: d.timestamp
+                for d in feed
+                if d.stream == "OpenAuction"
+            }
+            return sum(
+                1
+                for d in feed
+                if d.stream == "ClosedAuction"
+                and d.timestamp - opens[d.payload["itemID"]] <= 3 * 3600
+            )
+
+        assert within_3h(fast) > within_3h(slow)
+
+    def test_seeded_reproducibility(self):
+        a = AuctionWorkload(random.Random(7)).feed(30)
+        b = AuctionWorkload(random.Random(7)).feed(30)
+        assert a == b
+
+    def test_payload_matches_schema(self):
+        catalog = auction_catalog()
+        for datagram in AuctionWorkload(random.Random(4)).feed(20):
+            schema = catalog.get(datagram.stream)
+            for name in datagram.payload:
+                assert schema.has_attribute(name)

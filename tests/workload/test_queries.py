@@ -1,0 +1,91 @@
+"""The random query generator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workload.queries import QueryWorkload, WorkloadConfig
+from repro.workload.sensorscope import sensorscope_catalog
+
+
+@pytest.fixture
+def catalog():
+    return sensorscope_catalog(10, rng=random.Random(0))
+
+
+class TestGeneration:
+    def test_queries_validate(self, catalog):
+        workload = QueryWorkload(catalog, WorkloadConfig(skew=1.0, seed=1))
+        for query in workload.generate(50):
+            query.validate(catalog)
+
+    def test_names_unique_and_sequential(self, catalog):
+        workload = QueryWorkload(catalog, WorkloadConfig(seed=2))
+        names = [q.name for q in workload.generate(10)]
+        assert names == [f"q{i}" for i in range(10)]
+
+    def test_seeded_reproducibility(self, catalog):
+        a = QueryWorkload(catalog, WorkloadConfig(skew=1.5, seed=3)).generate(20)
+        b = QueryWorkload(catalog, WorkloadConfig(skew=1.5, seed=3)).generate(20)
+        assert [str(x) for x in a] == [str(x) for x in b]
+
+    def test_windows_from_menu(self, catalog):
+        config = WorkloadConfig(seed=4)
+        workload = QueryWorkload(catalog, config)
+        for query in workload.generate(40):
+            for ref in query.streams:
+                assert ref.window.size in config.window_choices
+
+    def test_join_fraction_zero_means_single_stream(self, catalog):
+        workload = QueryWorkload(catalog, WorkloadConfig(join_fraction=0.0, seed=5))
+        assert all(len(q.streams) == 1 for q in workload.generate(40))
+
+    def test_join_queries_have_join_predicate(self, catalog):
+        workload = QueryWorkload(catalog, WorkloadConfig(join_fraction=1.0, seed=6))
+        for query in workload.generate(20):
+            assert len(query.streams) == 2
+            assert query.predicate.links
+
+    def test_join_streams_ordered_canonically(self, catalog):
+        workload = QueryWorkload(catalog, WorkloadConfig(join_fraction=1.0, seed=7))
+        for query in workload.generate(20):
+            assert list(query.stream_names) == sorted(query.stream_names)
+
+    def test_filters_always_present(self, catalog):
+        workload = QueryWorkload(catalog, WorkloadConfig(join_fraction=0.0, seed=8))
+        for query in workload.generate(30):
+            assert not query.predicate.is_true
+
+    def test_aggregate_fraction(self, catalog):
+        workload = QueryWorkload(
+            catalog,
+            WorkloadConfig(join_fraction=0.0, aggregate_fraction=1.0, seed=9),
+        )
+        queries = workload.generate(10)
+        assert all(q.is_aggregate for q in queries)
+        for query in queries:
+            query.validate(catalog)
+
+
+class TestSkewEffect:
+    def test_skew_concentrates_streams(self, catalog):
+        def spread(skew):
+            workload = QueryWorkload(catalog, WorkloadConfig(skew=skew, seed=10))
+            counts = Counter(
+                q.stream_names[0] for q in workload.generate(300)
+            )
+            return max(counts.values())
+
+        assert spread(2.0) > spread(0.0)
+
+    def test_uniform_covers_many_streams(self, catalog):
+        workload = QueryWorkload(catalog, WorkloadConfig(skew=0.0, seed=11))
+        streams = {q.stream_names[0] for q in workload.generate(200)}
+        assert len(streams) >= 9  # of 10
+
+    def test_empty_catalog_rejected(self):
+        from repro.cql.schema import Catalog
+
+        with pytest.raises(ValueError):
+            QueryWorkload(Catalog())

@@ -1,0 +1,81 @@
+"""The synthetic SensorScope catalog and replayer."""
+
+import random
+
+import pytest
+
+from repro.workload.sensorscope import (
+    CHANNELS,
+    SensorScopeReplayer,
+    sensorscope_catalog,
+    stream_name,
+)
+
+
+class TestCatalog:
+    def test_63_streams_by_default(self):
+        catalog = sensorscope_catalog()
+        assert len(catalog) == 63
+
+    def test_stream_naming(self):
+        assert stream_name(0) == "ss00"
+        assert stream_name(62) == "ss62"
+
+    def test_schema_channels(self):
+        catalog = sensorscope_catalog(5)
+        schema = catalog.get("ss00")
+        for name, __, __, __ in CHANNELS:
+            assert schema.has_attribute(name)
+
+    def test_rates_within_bounds(self):
+        catalog = sensorscope_catalog(20, rng=random.Random(1), min_rate=0.5, max_rate=4.0)
+        for schema in catalog:
+            assert 0.5 <= schema.rate <= 4.0
+
+    def test_seeded_rates_reproducible(self):
+        a = sensorscope_catalog(10, rng=random.Random(3))
+        b = sensorscope_catalog(10, rng=random.Random(3))
+        assert [s.rate for s in a] == [s.rate for s in b]
+
+    def test_domains_declared(self):
+        catalog = sensorscope_catalog(1)
+        attr = catalog.get("ss00").attribute("ambient_temperature")
+        assert attr.lo == -20.0 and attr.hi == 45.0
+
+
+class TestReplayer:
+    def test_feed_is_timestamp_ordered(self):
+        catalog = sensorscope_catalog(5, rng=random.Random(2))
+        feed = SensorScopeReplayer(catalog, random.Random(2)).feed(30.0)
+        timestamps = [d.timestamp for d in feed]
+        assert timestamps == sorted(timestamps)
+
+    def test_feed_respects_duration(self):
+        catalog = sensorscope_catalog(3, rng=random.Random(2))
+        feed = SensorScopeReplayer(catalog, random.Random(2)).feed(10.0)
+        assert all(0 <= d.timestamp < 10.0 for d in feed)
+
+    def test_values_within_domains(self):
+        catalog = sensorscope_catalog(4, rng=random.Random(4))
+        feed = SensorScopeReplayer(catalog, random.Random(4)).feed(50.0)
+        for datagram in feed:
+            schema = catalog.get(datagram.stream)
+            for name, value in datagram.payload.items():
+                attr = schema.attribute(name)
+                if attr.lo is not None:
+                    assert attr.lo <= value <= attr.hi
+
+    def test_station_matches_stream(self):
+        catalog = sensorscope_catalog(4, rng=random.Random(5))
+        feed = SensorScopeReplayer(catalog, random.Random(5)).feed(20.0)
+        for datagram in feed:
+            assert datagram.payload["station"] == int(datagram.stream[2:])
+
+    def test_rate_controls_density(self):
+        catalog = sensorscope_catalog(2, rng=random.Random(6), min_rate=1.0, max_rate=1.0)
+        feed = SensorScopeReplayer(catalog, random.Random(6)).feed(100.0)
+        per_stream = {}
+        for datagram in feed:
+            per_stream[datagram.stream] = per_stream.get(datagram.stream, 0) + 1
+        for count in per_stream.values():
+            assert count == pytest.approx(100, abs=2)

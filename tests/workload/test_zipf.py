@@ -1,0 +1,57 @@
+"""Zipf sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workload.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_skew_zero_is_uniform(self):
+        sampler = ZipfSampler(4, 0.0, random.Random(0))
+        counts = Counter(sampler.sample() for __ in range(8000))
+        for rank in range(4):
+            assert counts[rank] == pytest.approx(2000, rel=0.15)
+
+    def test_high_skew_concentrates_on_rank_zero(self):
+        sampler = ZipfSampler(10, 2.0, random.Random(1))
+        counts = Counter(sampler.sample() for __ in range(5000))
+        assert counts[0] > 0.55 * 5000
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(7, 1.5)
+        assert sum(sampler.probability(r) for r in range(7)) == pytest.approx(1.0)
+
+    def test_probability_monotone_decreasing(self):
+        sampler = ZipfSampler(5, 1.0)
+        probs = [sampler.probability(r) for r in range(5)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(3, 1.0, random.Random(2))
+        assert all(0 <= sampler.sample() < 3 for __ in range(1000))
+
+    def test_sample_item(self):
+        sampler = ZipfSampler(3, 0.0, random.Random(3))
+        assert sampler.sample_item(["a", "b", "c"]) in {"a", "b", "c"}
+
+    def test_sample_item_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(3, 0.0).sample_item(["a"])
+
+    def test_seeded_reproducibility(self):
+        a = [ZipfSampler(10, 1.0, random.Random(5)).sample() for __ in range(1)]
+        b = [ZipfSampler(10, 1.0, random.Random(5)).sample() for __ in range(1)]
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -1.0)
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(3, 1.0).probability(3)
