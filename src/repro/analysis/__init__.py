@@ -1,0 +1,82 @@
+"""Static analysis for COSMOS workloads (``repro check``).
+
+Four check families, each with stable diagnostic codes:
+
+* ``COS1xx`` — schema: unknown streams/attributes, type clashes,
+  unused projections (:mod:`repro.analysis.schema`).
+* ``COS2xx`` — satisfiability: unsatisfiable or vacuous predicates,
+  filters outside declared attribute domains, disagreements between
+  the independent interval solver and the production covering code
+  (:mod:`repro.analysis.satisfiability`, :mod:`repro.analysis.intervals`).
+* ``COS3xx`` — plans: representative containment and re-tightening
+  recoverability for query groups (:mod:`repro.analysis.plans`).
+* ``COS4xx`` — overlay/routing: non-tree overlays, unreachable
+  subscribers, orphan routing entries (:mod:`repro.analysis.overlay`).
+
+The checker is pure: it never publishes data or runs the SPE.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checker import (
+    BUILTIN_WORKLOADS,
+    Workload,
+    analyze_builtin,
+    analyze_query,
+    analyze_workload,
+    build_network,
+    builtin_workload,
+)
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticError,
+    Report,
+    Severity,
+)
+from repro.analysis.intervals import ConstraintSystem, implies, is_unsatisfiable, solve
+from repro.analysis.overlay import (
+    check_network,
+    check_overlay_graph,
+    check_reachability,
+    check_routing_entries,
+)
+from repro.analysis.plans import check_group, check_groups
+from repro.analysis.satisfiability import (
+    check_dead_profiles,
+    check_filter,
+    check_predicate,
+    check_profile_filters,
+)
+from repro.analysis.schema import check_profile, check_query
+
+__all__ = [
+    "BUILTIN_WORKLOADS",
+    "CODES",
+    "ConstraintSystem",
+    "Diagnostic",
+    "DiagnosticError",
+    "Report",
+    "Severity",
+    "Workload",
+    "analyze_builtin",
+    "analyze_query",
+    "analyze_workload",
+    "build_network",
+    "builtin_workload",
+    "check_dead_profiles",
+    "check_filter",
+    "check_group",
+    "check_groups",
+    "check_network",
+    "check_overlay_graph",
+    "check_predicate",
+    "check_profile",
+    "check_profile_filters",
+    "check_query",
+    "check_reachability",
+    "check_routing_entries",
+    "implies",
+    "is_unsatisfiable",
+    "solve",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — same interface as ``repro check``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import run_check
+
+if __name__ == "__main__":
+    sys.exit(run_check(sys.argv[1:]))

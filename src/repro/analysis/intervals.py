@@ -1,0 +1,415 @@
+"""An independent interval-domain solver for conjunctive constraints.
+
+The predicate algebra in :mod:`repro.cql.predicates` ships its own
+*sound but incomplete* satisfiability and implication tests, written as
+ad-hoc case analysis.  This module solves the same fragment with a
+different algorithm — a difference-bound matrix (DBM) over the
+constraint graph, closed with Floyd-Warshall — so the two
+implementations can check each other (the analyzer's ``COS205``
+diagnostic fires on disagreement).
+
+The translation is the classic one for systems of difference
+constraints:
+
+* a value bound ``t <= hi`` becomes the edge ``origin -> t`` of weight
+  ``hi`` (``t - origin <= hi`` with a virtual origin pinned at 0);
+* ``t >= lo`` becomes ``t -> origin`` of weight ``-lo``;
+* a difference constraint ``a - b <= hi`` becomes ``b -> a`` of weight
+  ``hi`` and ``a - b >= lo`` becomes ``a -> b`` of weight ``-lo``;
+* equality links (equijoins) merge their endpoints into one node.
+
+Edge weights are pairs ``(value, strict)`` ordered lexicographically
+(``(5, strict)`` is tighter than ``(5, non-strict)``), the bound
+semiring of DBM-based abstract domains.  The conjunction is
+unsatisfiable over the reals iff the shortest-path closure puts a
+negative entry on the diagonal — a cycle of negative weight, or zero
+weight through at least one strict edge (``x < y`` chains summing to
+``x < x``).  The closed matrix then gives the *tightest* derivable
+interval per term and per difference, which is strictly more complete
+than the pairwise checks of :meth:`Conjunction.is_satisfiable` (it
+follows chains such as ``a - b <= -1 AND b - c <= -1 AND c - a <= -1``).
+
+Exclusions (``!=``) and string-valued constraints do not enter the
+matrix; they are handled by the same point/exclusion case analysis the
+CBN uses, applied *after* tightening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.cql.predicates import (
+    Atom,
+    Conjunction,
+    Interval,
+    PredicateError,
+    Value,
+)
+
+#: A derived bound: (value, strict).  ``(5.0, True)`` means ``< 5``.
+Bound = Tuple[float, bool]
+
+#: Graph edge ``(u, v, weight, strict)`` encoding ``v - u <= weight``
+#: (strictly, when ``strict``).
+Edge = Tuple[str, str, float, bool]
+
+_ORIGIN = "\x00origin"
+
+
+def _tighter(current: Optional[Bound], candidate: Bound) -> bool:
+    """Is ``candidate`` strictly tighter than ``current`` (None = +inf)?"""
+    if current is None:
+        return True
+    return candidate[0] < current[0] or (
+        candidate[0] == current[0] and candidate[1] and not current[1]
+    )
+
+
+def _is_string(value: Optional[Value]) -> bool:
+    return isinstance(value, str)
+
+
+def _string_bounded(interval: Interval) -> bool:
+    return _is_string(interval.lo) or _is_string(interval.hi)
+
+
+@dataclass(frozen=True)
+class Solution:
+    """Outcome of solving one conjunction.
+
+    ``domains`` maps every referenced term to the tightest interval the
+    solver could derive for it (the seed domain intersected with all
+    value constraints, equality classes and difference chains).
+    """
+
+    satisfiable: bool
+    domains: Mapping[str, Interval]
+    excluded: Mapping[str, FrozenSet[Value]]
+    reason: Optional[str] = None
+
+    def domain(self, term: str) -> Interval:
+        return self.domains.get(term, Interval.universal())
+
+    def excluded_values(self, term: str) -> FrozenSet[Value]:
+        return self.excluded.get(term, frozenset())
+
+
+class ConstraintSystem:
+    """A difference-bound view of one :class:`Conjunction`.
+
+    ``seed`` optionally supplies a priori value domains per term (the
+    analyzer passes declared schema attribute domains, turning "can this
+    filter ever match real data?" into the same satisfiability query).
+    """
+
+    def __init__(
+        self,
+        conjunction: Conjunction,
+        seed: Optional[Mapping[str, Interval]] = None,
+    ) -> None:
+        self._conj = conjunction
+        self._seed = dict(seed or {})
+        self._rep: Dict[str, str] = {}
+        self._class_interval: Dict[str, Interval] = {}
+        self._class_excluded: Dict[str, Set[Value]] = {}
+        self._edges: List[Edge] = []
+        self._nodes: Set[str] = {_ORIGIN}
+        self._matrix: Dict[str, Dict[str, Bound]] = {}
+        self._tightened_cache: Optional[Dict[str, Interval]] = None
+        self.unsat_reason: Optional[str] = None
+        self._build()
+        if self.unsat_reason is None:
+            self._close()
+        if self.unsat_reason is None:
+            self._check_exclusions()
+
+    # -- construction ---------------------------------------------------------
+
+    def _find(self, term: str) -> str:
+        root = term
+        while self._rep.get(root, root) != root:
+            root = self._rep[root]
+        while self._rep.get(term, term) != root:
+            self._rep[term], term = root, self._rep[term]
+        return root
+
+    def _union(self, a: str, b: str) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra != rb:
+            self._rep[max(ra, rb)] = min(ra, rb)
+
+    def _build(self) -> None:
+        conj = self._conj
+        for a, b in conj.links:
+            self._union(a, b)
+        terms = conj.referenced_terms() | set(self._seed)
+        for term in terms:
+            root = self._find(term)
+            interval = self._class_interval.get(root, Interval.universal())
+            for candidate in (
+                conj.intervals.get(term),
+                self._seed.get(term),
+            ):
+                if candidate is None:
+                    continue
+                try:
+                    interval = interval.intersect(candidate)
+                except (PredicateError, TypeError):
+                    self.unsat_reason = (
+                        f"term {term!r} mixes string and numeric constraints"
+                    )
+                    return
+            self._class_interval[root] = interval
+            excluded = conj.excluded.get(term)
+            if excluded:
+                self._class_excluded.setdefault(root, set()).update(excluded)
+        # Value bounds become edges against the origin.
+        for root, interval in self._class_interval.items():
+            if interval.is_empty:
+                self.unsat_reason = f"empty value interval for {root!r}"
+                return
+            if _string_bounded(interval):
+                continue  # string classes stay out of the matrix
+            self._nodes.add(root)
+            if interval.hi is not None:
+                self._edges.append(
+                    (_ORIGIN, root, float(interval.hi), interval.hi_strict)
+                )
+            if interval.lo is not None:
+                self._edges.append(
+                    (root, _ORIGIN, -float(interval.lo), interval.lo_strict)
+                )
+        # Difference constraints become cross edges.
+        for (a, b), iv in conj.diffs.items():
+            if iv.is_empty:
+                self.unsat_reason = (
+                    f"empty difference interval for {a!r} - {b!r}"
+                )
+                return
+            if _string_bounded(iv):
+                # ``a - b`` can only be evaluated on numbers; a string
+                # bound admits no binding at all.
+                self.unsat_reason = (
+                    f"difference {a!r} - {b!r} bounded by a string"
+                )
+                return
+            ra, rb = self._find(a), self._find(b)
+            if ra == rb:
+                # a = b forces the difference to zero.
+                if not iv.contains_value(0):
+                    self.unsat_reason = (
+                        f"{a!r} = {b!r} but their difference must lie in {iv}"
+                    )
+                    return
+                continue
+            for root in (ra, rb):
+                if _string_bounded(
+                    self._class_interval.get(root, Interval.universal())
+                ):
+                    self.unsat_reason = (
+                        f"difference constraint on string-valued term {root!r}"
+                    )
+                    return
+                self._nodes.add(root)
+            if iv.hi is not None:
+                self._edges.append((rb, ra, float(iv.hi), iv.hi_strict))
+            if iv.lo is not None:
+                self._edges.append((ra, rb, -float(iv.lo), iv.lo_strict))
+
+    # -- shortest-path closure ------------------------------------------------
+
+    def _close(self) -> None:
+        """Floyd-Warshall closure over the bound semiring.
+
+        ``matrix[u][v]`` is the tightest derivable bound on ``v - u``.
+        A diagonal entry below ``(0, non-strict)`` witnesses an
+        infeasible cycle.
+        """
+        nodes = sorted(self._nodes)
+        matrix: Dict[str, Dict[str, Bound]] = {u: {u: (0.0, False)} for u in nodes}
+        for u, v, weight, strict in self._edges:
+            candidate = (weight, strict)
+            if _tighter(matrix[u].get(v), candidate):
+                matrix[u][v] = candidate
+        for k in nodes:
+            row_k = matrix[k]
+            for i in nodes:
+                d_ik = matrix[i].get(k)
+                if d_ik is None:
+                    continue
+                row_i = matrix[i]
+                for j, d_kj in list(row_k.items()):
+                    candidate = (d_ik[0] + d_kj[0], d_ik[1] or d_kj[1])
+                    if _tighter(row_i.get(j), candidate):
+                        row_i[j] = candidate
+        for node in nodes:
+            diag = matrix[node][node]
+            if diag[0] < 0 or (diag[0] == 0 and diag[1]):
+                self.unsat_reason = (
+                    "difference constraints form a contradictory cycle"
+                )
+                return
+        self._matrix = matrix
+
+    def _bound(self, u: str, v: str) -> Optional[Bound]:
+        """Tightest derived bound on ``v - u`` (None = unbounded)."""
+        row = self._matrix.get(u)
+        return None if row is None else row.get(v)
+
+    # -- results ----------------------------------------------------------------
+
+    def _check_exclusions(self) -> None:
+        domains = self._tightened()
+        for root, values in self._class_excluded.items():
+            interval = domains.get(root, Interval.universal())
+            if interval.is_point and interval.lo in values:
+                self.unsat_reason = (
+                    f"{root!r} is pinned to {interval.lo!r} but excludes it"
+                )
+                return
+
+    def _tightened(self) -> Dict[str, Interval]:
+        """Tightest per-class interval derivable from the whole system."""
+        if self._tightened_cache is not None:
+            return self._tightened_cache
+        out: Dict[str, Interval] = {}
+        for root, interval in self._class_interval.items():
+            if root not in self._nodes:
+                out[root] = interval
+                continue
+            upper = self._bound(_ORIGIN, root)  # root - origin <= w
+            lower = self._bound(root, _ORIGIN)  # origin - root <= w
+            hi = interval.hi if upper is None else upper[0]
+            hi_strict = interval.hi_strict if upper is None else upper[1]
+            lo = interval.lo if lower is None else -lower[0]
+            lo_strict = interval.lo_strict if lower is None else lower[1]
+            out[root] = Interval(lo, hi, lo_strict, hi_strict)
+        self._tightened_cache = out
+        return out
+
+    @property
+    def satisfiable(self) -> bool:
+        return self.unsat_reason is None
+
+    def same_class(self, a: str, b: str) -> bool:
+        return self._find(a) == self._find(b)
+
+    def domain(self, term: str) -> Interval:
+        return self._tightened().get(self._find(term), Interval.universal())
+
+    def excluded_values(self, term: str) -> FrozenSet[Value]:
+        return frozenset(self._class_excluded.get(self._find(term), ()))
+
+    def tightest_diff(self, a: str, b: str) -> Interval:
+        """The tightest derivable interval for ``a - b``."""
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return Interval.point(0)
+        if ra not in self._nodes or rb not in self._nodes:
+            return Interval.universal()
+        upper = self._bound(rb, ra)  # a - b <= w
+        lower = self._bound(ra, rb)  # b - a <= w, so a - b >= -w
+        hi, hi_strict = (upper[0], upper[1]) if upper is not None else (None, False)
+        lo, lo_strict = (-lower[0], lower[1]) if lower is not None else (None, False)
+        return Interval(lo, hi, lo_strict, hi_strict)
+
+    def solution(self) -> Solution:
+        if not self.satisfiable:
+            return Solution(False, {}, {}, self.unsat_reason)
+        terms = self._conj.referenced_terms() | set(self._seed)
+        domains = {term: self.domain(term) for term in terms}
+        excluded = {
+            term: self.excluded_values(term)
+            for term in terms
+            if self.excluded_values(term)
+        }
+        return Solution(True, domains, excluded, None)
+
+
+# ---------------------------------------------------------------------------
+# Module-level API
+# ---------------------------------------------------------------------------
+
+
+def solve(
+    conjunction: Conjunction,
+    seed: Optional[Mapping[str, Interval]] = None,
+) -> Solution:
+    """Solve ``conjunction`` (optionally under per-term seed domains)."""
+    return ConstraintSystem(conjunction, seed).solution()
+
+
+def is_unsatisfiable(
+    conjunction: Conjunction,
+    seed: Optional[Mapping[str, Interval]] = None,
+) -> bool:
+    return not ConstraintSystem(conjunction, seed).satisfiable
+
+
+def implies(
+    premise: Conjunction,
+    conclusion: Conjunction,
+    seed: Optional[Mapping[str, Interval]] = None,
+) -> bool:
+    """Sound implication test built on the difference-bound solver.
+
+    True when every binding satisfying ``premise`` (within ``seed``
+    domains) satisfies ``conclusion``.  Mirrors the semantics of
+    :meth:`Conjunction.implies` — including the convention that a
+    constraint on a term requires the term to be bound — but derives its
+    entailments from the shortest-path closure instead of per-case
+    rules.
+    """
+    system = ConstraintSystem(premise, seed)
+    if not system.satisfiable:
+        return True
+    constrained = premise.referenced_terms() | set(seed or {})
+    for term, needed in conclusion.intervals.items():
+        if term not in constrained:
+            return False
+        if not needed.contains_interval(system.domain(term)):
+            return False
+    for term, values in conclusion.excluded.items():
+        if term not in constrained:
+            return False
+        domain = system.domain(term)
+        already = system.excluded_values(term)
+        for value in values:
+            if value in already:
+                continue
+            if domain.contains_value(value):
+                return False
+    for a, b in conclusion.links:
+        if not system.same_class(a, b):
+            return False
+    for (a, b), needed in conclusion.diffs.items():
+        if a not in constrained or b not in constrained:
+            return False
+        if system.same_class(a, b):
+            if not needed.contains_value(0):
+                return False
+            continue
+        if not needed.contains_interval(system.tightest_diff(a, b)):
+            return False
+    return True
+
+
+def vacuous_atoms(
+    atoms: Sequence[Atom],
+    seed: Optional[Mapping[str, Interval]] = None,
+) -> List[Atom]:
+    """Atoms implied by the conjunction of their siblings.
+
+    A vacuous conjunct adds nothing to the predicate (``x > 5 AND
+    x > 3`` — the second atom).  Callers must establish satisfiability
+    first: an unsatisfiable sibling set implies everything.
+    """
+    out: List[Atom] = []
+    for index, atom in enumerate(atoms):
+        rest = Conjunction.from_atoms(
+            [a for j, a in enumerate(atoms) if j != index]
+        )
+        if implies(rest, Conjunction.from_atoms([atom]), seed):
+            out.append(atom)
+    return out

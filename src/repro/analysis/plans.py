@@ -1,0 +1,147 @@
+"""COS3xx: plan checks for query groups and their representatives.
+
+A query group is sound when (Definition 1 / Theorems 1-2 of the paper)
+every member is *contained* by the representative, and when the member
+can actually be recovered from the representative's result stream: the
+re-tightening profile's residual constraints must be evaluable over the
+representative's output attributes, and the member's own output schema
+must be reproducible by projection alone.
+
+These checks re-derive the recoverability conditions independently and
+then cross-check against the production composition in
+:func:`repro.core.profiles.result_profile` — if the production code
+rejects a member the static derivation accepted (or the derived profile
+disagrees with the produced one), that is reported too, on the member's
+group.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.analysis.diagnostics import Report
+from repro.cql.ast import ContinuousQuery, QueryError
+from repro.cql.predicates import Atom, Conjunction, atom_terms
+from repro.cql.schema import Catalog
+from repro.core.containment import contains
+from repro.core.grouping import QueryGroup
+from repro.core.merging import residual_atoms, window_residuals
+from repro.core.profiles import ProfileCompositionError, result_profile
+
+
+def _member_label(member: ContinuousQuery) -> str:
+    return member.name if member.name else "<member>"
+
+
+def check_group(group: QueryGroup, catalog: Catalog) -> Report:
+    """COS301/302/303 for one query group."""
+    report = Report()
+    source = f"group:{group.group_id}"
+    rep = group.representative
+    try:
+        rep_canonical = rep.canonical(catalog)
+        rep_outputs: Set[str] = set(rep_canonical.output_attribute_names(catalog))
+    except QueryError as exc:
+        report.add(
+            "COS301",
+            f"representative {rep.name!r} cannot be canonicalised: {exc}",
+            source,
+        )
+        return report
+    for member in group.members:
+        label = _member_label(member)
+        try:
+            member_canonical = member.canonical(catalog)
+        except QueryError as exc:
+            report.add(
+                "COS301",
+                f"member {label!r} cannot be canonicalised: {exc}",
+                source,
+            )
+            continue
+        if not contains(member_canonical, rep_canonical, catalog):
+            report.add(
+                "COS301",
+                f"representative {rep.name!r} does not contain member "
+                f"{label!r}: some member results would be missing from "
+                "the representative's result stream",
+                source,
+            )
+        # Recoverability, derived independently of result_profile():
+        residuals: List[Atom] = list(
+            residual_atoms(member_canonical, rep_canonical.predicate)
+        )
+        residuals.extend(window_residuals(member_canonical, rep_canonical))
+        needed: Set[str] = set()
+        for atom in residuals:
+            needed |= atom_terms(atom)
+        missing = sorted(needed - rep_outputs)
+        if missing:
+            report.add(
+                "COS303",
+                f"member {label!r} needs residual attributes {missing} "
+                "that the representative's result stream does not carry; "
+                "the re-tightening filter cannot be evaluated",
+                source,
+            )
+        member_outputs = member_canonical.output_attribute_names(catalog)
+        not_provided = sorted(set(member_outputs) - rep_outputs)
+        if not_provided:
+            report.add(
+                "COS302",
+                f"member {label!r} outputs {not_provided} that the "
+                "representative's result stream does not carry; "
+                "re-tightening cannot reproduce the member's result "
+                "schema",
+                source,
+            )
+        if missing or not_provided:
+            continue
+        # Cross-check: the production composition must agree that this
+        # member is recoverable, and its profile must project exactly
+        # the member's output schema.
+        try:
+            profile = result_profile(
+                member_canonical,
+                rep_canonical,
+                catalog,
+                result_stream=f"result:{group.group_id}",
+            )
+        except ProfileCompositionError as exc:
+            report.add(
+                "COS302",
+                f"member {label!r}: result_profile() rejects a member the "
+                f"static derivation accepted ({exc}); the two "
+                "implementations disagree",
+                source,
+            )
+            continue
+        projected = profile.projection_for(f"result:{group.group_id}")
+        if projected != frozenset(member_outputs):
+            report.add(
+                "COS302",
+                f"member {label!r}: re-tightening profile projects "
+                f"{sorted(projected)} but the member's result schema is "
+                f"{sorted(set(member_outputs))}",
+                source,
+            )
+        filter_terms: Set[str] = set()
+        for flt in profile.filters:
+            filter_terms |= flt.condition.referenced_terms()
+        unreadable = sorted(filter_terms - rep_outputs)
+        if unreadable:
+            report.add(
+                "COS303",
+                f"member {label!r}: re-tightening filter reads {unreadable} "
+                "which the representative's result stream does not carry",
+                source,
+            )
+    return report
+
+
+def check_groups(groups: Sequence[QueryGroup], catalog: Catalog) -> Report:
+    """COS3xx over every group of a grouping plan."""
+    report = Report()
+    for group in groups:
+        report.extend(check_group(group, catalog))
+    return report

@@ -339,6 +339,19 @@ class ContentBasedNetwork:
     def subscription_count(self) -> int:
         return len(self._subscriptions)
 
+    def subscriptions(self) -> Dict[str, Tuple[NodeId, Profile]]:
+        """Subscription id -> (attachment broker, profile)."""
+        return {
+            sid: (sub.node, sub.profile)
+            for sid, sub in self._subscriptions.items()
+        }
+
+    def advertised_streams(self) -> List[str]:
+        """Streams with at least one advertisement, sorted."""
+        return sorted(
+            stream for stream, ads in self._advertisements.items() if ads
+        )
+
     def routing_state_size(self) -> int:
         """Total routing entries across all brokers (table pressure)."""
         return sum(tbl.entry_count for tbl in self._tables.values())

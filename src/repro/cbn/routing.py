@@ -100,6 +100,10 @@ class RoutingTable:
     def profiles(self, interface: object) -> List[Profile]:
         return list(self._entries.get(interface, {}).values())
 
+    def entries(self, interface: object) -> Dict[str, Profile]:
+        """Entry-id -> profile behind one interface, in install order."""
+        return dict(self._entries.get(interface, {}))
+
     def local_profiles(self) -> Dict[str, Profile]:
         return dict(self._entries.get(self.LOCAL, {}))
 

@@ -7,6 +7,7 @@
     python -m repro fig3  [--items N]      # the Figure 3 measurement only
     python -m repro fig4  [--full]         # the Figure 4 sweep only
     python -m repro demo                   # the quickstart scenario + monitor
+    python -m repro check [--workload W] [--strict]   # static analysis
 """
 
 from __future__ import annotations
@@ -39,7 +40,58 @@ def _build_parser() -> argparse.ArgumentParser:
     f4.add_argument("--full", action="store_true", help="paper-scale parameters")
 
     sub.add_parser("demo", help="run the quickstart scenario with a status report")
+
+    chk = sub.add_parser(
+        "check", help="statically analyse a workload (schema, satisfiability, "
+        "plans, routing) without running it"
+    )
+    chk.add_argument(
+        "--workload",
+        choices=["auction", "sensorscope", "all"],
+        default="all",
+        help="builtin workload to analyse (default: all)",
+    )
+    chk.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
     return parser
+
+
+def run_check(argv: Optional[Sequence[str]] = None) -> int:
+    """The ``repro check`` subcommand, also ``python -m repro.analysis``.
+
+    Exit codes: 0 clean (or warnings without ``--strict``), 1 warnings
+    under ``--strict``, 2 errors.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro check", description="static analysis for COSMOS workloads"
+    )
+    parser.add_argument(
+        "--workload", choices=["auction", "sensorscope", "all"], default="all"
+    )
+    parser.add_argument("--strict", action="store_true")
+    args = parser.parse_args(argv)
+    return _cmd_check(args.workload, args.strict)
+
+
+def _cmd_check(workload: str, strict: bool) -> int:
+    from repro.analysis import BUILTIN_WORKLOADS, Report, analyze_builtin
+
+    names = list(BUILTIN_WORKLOADS) if workload == "all" else [workload]
+    combined = Report()
+    for name in names:
+        report = analyze_builtin(name)
+        combined.extend(report)
+        status = "clean" if report.is_clean else (
+            f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+        )
+        print(f"workload {name}: {status}")
+    rendered = combined.render()
+    if rendered:
+        print(rendered)
+    return combined.exit_code(strict)
 
 
 def _cmd_demo() -> int:
@@ -100,6 +152,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "demo":
         return _cmd_demo()
+    if args.command == "check":
+        return _cmd_check(args.workload, args.strict)
     return 2
 
 

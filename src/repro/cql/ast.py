@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.cql.predicates import AttrRef, Conjunction, PredicateError
+from repro.cql.predicates import Atom, AttrRef, Conjunction, PredicateError
 from repro.cql.schema import Catalog, SchemaError, StreamSchema
 
 
@@ -96,11 +96,17 @@ UNBOUNDED = Window(math.inf)
 
 @dataclass(frozen=True)
 class StreamRef:
-    """One entry of the FROM clause: a stream, its window and its alias."""
+    """One entry of the FROM clause: a stream, its window and its alias.
+
+    ``pos`` is the character offset of the reference in the query text
+    it was parsed from (``None`` for programmatically built references);
+    it is excluded from equality so provenance never affects semantics.
+    """
 
     stream: str
     window: Window = UNBOUNDED
     alias: Optional[str] = None
+    pos: Optional[int] = field(default=None, compare=False)
 
     @property
     def name(self) -> str:
@@ -117,6 +123,7 @@ class Star:
     """``Q.*`` in a SELECT list (all attributes of one stream reference)."""
 
     qualifier: str
+    pos: Optional[int] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.qualifier}.*"
@@ -129,6 +136,7 @@ class Aggregate:
     func: str
     arg: Optional[AttrRef]  # None only for COUNT(*)
     output_name: Optional[str] = None
+    pos: Optional[int] = field(default=None, compare=False)
 
     FUNCS = ("count", "sum", "avg", "min", "max")
 
@@ -157,6 +165,27 @@ class Aggregate:
 SelectItem = Union[Star, AttrRef, Aggregate]
 
 
+@dataclass(frozen=True)
+class QuerySource:
+    """Provenance of a parsed query.
+
+    ``text`` is the original CQL surface text; ``where_atoms`` are the
+    raw WHERE-clause atoms exactly as written (with their source
+    offsets), *before* :meth:`Conjunction.from_atoms` normalised them
+    (normalisation intersects same-term intervals, which erases
+    redundant conjuncts the static analyzer wants to warn about).
+    """
+
+    text: str
+    where_atoms: Tuple[Atom, ...] = ()
+
+    def span(self, pos: Optional[int], width: int = 20) -> str:
+        """A short excerpt of the query text around ``pos``."""
+        if pos is None or not (0 <= pos < len(self.text)):
+            return ""
+        return self.text[pos : pos + width]
+
+
 # ---------------------------------------------------------------------------
 # Continuous queries
 # ---------------------------------------------------------------------------
@@ -177,6 +206,10 @@ class ContinuousQuery:
     predicate: Conjunction = field(default_factory=Conjunction.true)
     group_by: Tuple[AttrRef, ...] = ()
     name: Optional[str] = None
+    #: Parse provenance (original text + raw WHERE atoms with offsets);
+    #: dropped by rewrites such as :meth:`canonical`, excluded from
+    #: equality, and ``None`` for programmatically built queries.
+    source: Optional[QuerySource] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.streams:

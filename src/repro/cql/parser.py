@@ -32,6 +32,7 @@ from repro.cql.ast import (
     Aggregate,
     ContinuousQuery,
     NOW,
+    QuerySource,
     SelectItem,
     Star,
     StreamRef,
@@ -67,6 +68,7 @@ class _Operand:
     value: Union[int, float, str, None] = None
     attr: Optional[AttrRef] = None
     diff: Optional[Tuple[AttrRef, AttrRef]] = None
+    pos: Optional[int] = None
 
     @property
     def is_constant(self) -> bool:
@@ -75,6 +77,7 @@ class _Operand:
 
 class _Parser:
     def __init__(self, text: str) -> None:
+        self._text = text
         self._tokens = tokenize(text)
         self._pos = 0
 
@@ -119,8 +122,10 @@ class _Parser:
         self._expect("keyword", "from")
         streams = self._stream_list()
         predicate = Conjunction.true()
+        where_atoms: List[Atom] = []
         if self._accept("keyword", "where"):
-            predicate = Conjunction.from_atoms(self._condition())
+            where_atoms = self._condition()
+            predicate = Conjunction.from_atoms(where_atoms)
         group_by: Tuple[AttrRef, ...] = ()
         if self._accept("keyword", "group"):
             self._expect("keyword", "by")
@@ -131,6 +136,7 @@ class _Parser:
             streams=tuple(streams),
             predicate=predicate,
             group_by=group_by,
+            source=QuerySource(self._text, tuple(where_atoms)),
         )
 
     def _select_list(self) -> List[SelectItem]:
@@ -148,11 +154,11 @@ class _Parser:
         ident = self._expect("ident")
         if self._accept("punct", "."):
             if self._accept("punct", "*"):
-                return Star(ident.text)
+                return Star(ident.text, pos=ident.pos)
             attr_name = self._expect("ident")
-            attr = AttrRef(ident.text, attr_name.text)
+            attr = AttrRef(ident.text, attr_name.text, pos=ident.pos)
         else:
-            attr = AttrRef(None, ident.text)
+            attr = AttrRef(None, ident.text, pos=ident.pos)
         if self._accept("keyword", "as"):
             # Output aliases on plain columns are accepted for CQL
             # compatibility but do not rename the output attribute.
@@ -160,7 +166,8 @@ class _Parser:
         return attr
 
     def _aggregate(self) -> Aggregate:
-        func = self._expect("ident").text.lower()
+        func_token = self._expect("ident")
+        func = func_token.text.lower()
         self._expect("punct", "(")
         arg: Optional[AttrRef] = None
         if not self._accept("punct", "*"):
@@ -169,14 +176,14 @@ class _Parser:
         output_name = None
         if self._accept("keyword", "as"):
             output_name = self._expect("ident").text
-        return Aggregate(func, arg, output_name)
+        return Aggregate(func, arg, output_name, pos=func_token.pos)
 
     def _attr_ref(self) -> AttrRef:
         first = self._expect("ident")
         if self._accept("punct", "."):
             second = self._expect("ident")
-            return AttrRef(first.text, second.text)
-        return AttrRef(None, first.text)
+            return AttrRef(first.text, second.text, pos=first.pos)
+        return AttrRef(None, first.text, pos=first.pos)
 
     def _attr_list(self) -> List[AttrRef]:
         attrs = [self._attr_ref()]
@@ -191,7 +198,7 @@ class _Parser:
         return streams
 
     def _stream_ref(self) -> StreamRef:
-        name = self._expect("ident").text
+        name_token = self._expect("ident")
         window = UNBOUNDED
         if self._accept("punct", "["):
             window = self._window_body()
@@ -199,7 +206,7 @@ class _Parser:
         alias = None
         if self._peek().kind == "ident":
             alias = self._next().text
-        return StreamRef(name, window, alias)
+        return StreamRef(name_token.text, window, alias, pos=name_token.pos)
 
     def _window_body(self) -> Window:
         if self._accept("keyword", "now"):
@@ -242,20 +249,20 @@ class _Parser:
         token = self._peek()
         if token.kind in ("number", "string"):
             self._next()
-            return _Operand(value=token.value)
+            return _Operand(value=token.value, pos=token.pos)
         if token.kind == "punct" and token.text in ("-", "+"):
             sign = -1 if token.text == "-" else 1
             self._next()
             number = self._expect("number")
-            return _Operand(value=sign * number.value)  # type: ignore[operator]
+            return _Operand(value=sign * number.value, pos=token.pos)  # type: ignore[operator]
         attr = self._attr_ref()
         if self._peek().kind == "punct" and self._peek().text == "-":
             after = self._tokens[self._pos + 1]
             if after.kind == "ident":
                 self._next()
                 other = self._attr_ref()
-                return _Operand(diff=(attr, other))
-        return _Operand(attr=attr)
+                return _Operand(diff=(attr, other), pos=attr.pos)
+        return _Operand(attr=attr, pos=attr.pos)
 
     def _make_atoms(self, left: _Operand, op: str, right: _Operand) -> List[Atom]:
         if left.is_constant and right.is_constant:
@@ -268,10 +275,10 @@ class _Parser:
                 raise ParseError(
                     "attribute differences may only be compared to constants"
                 )
-            return [self._diff_atom(left.diff, op, right.value)]
+            return [self._diff_atom(left.diff, op, right.value, left.pos)]
         assert left.attr is not None
         if right.is_constant:
-            return [Comparison(left.attr.key, op, right.value)]
+            return [Comparison(left.attr.key, op, right.value, pos=left.pos)]
         if right.diff is not None:
             raise ParseError(
                 "attribute differences may only appear on one side"
@@ -281,10 +288,14 @@ class _Parser:
             raise ParseError(
                 f"only equality joins between attributes are supported, got {op!r}"
             )
-        return [JoinPredicate(left.attr.key, right.attr.key)]
+        return [JoinPredicate(left.attr.key, right.attr.key, pos=left.pos)]
 
     def _diff_atom(
-        self, diff: Tuple[AttrRef, AttrRef], op: str, value: object
+        self,
+        diff: Tuple[AttrRef, AttrRef],
+        op: str,
+        value: object,
+        pos: Optional[int] = None,
     ) -> DifferenceConstraint:
         left, right = diff
         if op == "=":
@@ -299,7 +310,7 @@ class _Parser:
             interval = Interval.at_least(value)  # type: ignore[arg-type]
         else:
             raise ParseError("'!=' is not supported on attribute differences")
-        return DifferenceConstraint(left.key, right.key, interval)
+        return DifferenceConstraint(left.key, right.key, interval, pos=pos)
 
 
 def parse_query(text: str, name: Optional[str] = None) -> ContinuousQuery:
@@ -320,5 +331,6 @@ def parse_query(text: str, name: Optional[str] = None) -> ContinuousQuery:
             query.predicate,
             query.group_by,
             name=name,
+            source=query.source,
         )
     return query

@@ -236,11 +236,15 @@ class AttrRef:
     ``qualifier`` is the stream reference name (alias or stream name);
     it may be ``None`` for already-flat attribute names such as those of
     CBN datagrams.  :attr:`key` is the canonical term string used by the
-    predicate algebra.
+    predicate algebra.  ``pos`` is the character offset of the reference
+    in the query text it was parsed from (``None`` for programmatically
+    built references); it is excluded from equality so provenance never
+    affects predicate semantics.
     """
 
     qualifier: Optional[str]
     name: str
+    pos: Optional[int] = field(default=None, compare=False)
 
     @property
     def key(self) -> str:
@@ -267,6 +271,7 @@ class Comparison:
     term: str
     op: str
     value: Value
+    pos: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS:
@@ -282,6 +287,7 @@ class JoinPredicate:
 
     left: str
     right: str
+    pos: Optional[int] = field(default=None, compare=False)
 
     def normalized(self) -> Tuple[str, str]:
         return (self.left, self.right) if self.left <= self.right else (self.right, self.left)
@@ -301,6 +307,7 @@ class DifferenceConstraint:
     left: str
     right: str
     interval: Interval
+    pos: Optional[int] = field(default=None, compare=False)
 
     def normalized(self) -> Tuple[Tuple[str, str], Interval]:
         """Canonical orientation: terms in lexicographic order."""

@@ -82,6 +82,10 @@ class CosmosSystem:
         each source's node (the paper's "multiple overlay dissemination
         trees"); requires ``topology``.  Result streams stay on the
         default tree.
+    static_check:
+        Run the static analyzer (schema + satisfiability families) on
+        every submitted query and reject submissions with errors by
+        raising :class:`SystemError_` before anything is installed.
     """
 
     def __init__(
@@ -94,10 +98,12 @@ class CosmosSystem:
         merging: bool = True,
         use_subsumption: bool = False,
         per_source_trees: bool = False,
+        static_check: bool = False,
     ) -> None:
         if per_source_trees and topology is None:
             raise SystemError_("per_source_trees requires the topology")
         self.per_source_trees = per_source_trees
+        self.static_check = static_check
         self.tree = tree
         self.topology = topology
         self.catalog = Catalog()
@@ -176,6 +182,15 @@ class CosmosSystem:
             query.group_by,
             query_id,
         )
+        if self.static_check:
+            from repro.analysis.checker import analyze_query
+
+            report = analyze_query(named, self.catalog)
+            if report.errors:
+                raise SystemError_(
+                    f"query {query_id!r} rejected by static analysis:\n"
+                    + "\n".join(d.render() for d in report.errors)
+                )
         processor = self.distribution.choose(
             named, user_node, sorted(self.processors.values(), key=lambda p: p.node_id)
         )

@@ -1,0 +1,129 @@
+"""The end-to-end analyzer, the CLI contract and the submit hook."""
+
+import pytest
+
+from repro.analysis import (
+    BUILTIN_WORKLOADS,
+    Workload,
+    analyze_builtin,
+    analyze_query,
+    analyze_workload,
+    builtin_workload,
+)
+from repro.cli import run_check
+from repro.cql.parser import parse_query
+from repro.system import CosmosSystem
+from repro.system.cosmos import SystemError_
+
+
+class TestBuiltinWorkloads:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            builtin_workload("nope")
+
+    @pytest.mark.parametrize("name", BUILTIN_WORKLOADS)
+    def test_builtin_workloads_have_no_errors(self, name):
+        # The acceptance bar: `repro check` exits 0 on both examples.
+        report = analyze_builtin(name)
+        assert report.errors == []
+        assert report.exit_code(strict=False) == 0
+
+    def test_auction_is_fully_clean(self):
+        assert analyze_builtin("auction").is_clean
+
+    def test_deterministic(self):
+        first = [d.render() for d in analyze_builtin("sensorscope")]
+        second = [d.render() for d in analyze_builtin("sensorscope")]
+        assert first == second
+
+
+class TestAnalyzeQuery:
+    def test_schema_errors_suppress_satisfiability(self, sensor_catalog):
+        # The predicate references an unknown attribute; running the
+        # solver on it would only produce cascading noise.
+        query = parse_query(
+            "SELECT T.station FROM Temp [Now] T "
+            "WHERE T.pressure > 5 AND T.pressure < 2",
+            name="q",
+        )
+        report = analyze_query(query, sensor_catalog)
+        assert report.has("COS102")
+        assert not report.has("COS201")
+
+    def test_both_families_on_clean_schema(self, sensor_catalog):
+        query = parse_query(
+            "SELECT T.station FROM Temp [Now] T "
+            "WHERE T.temperature > 30 AND T.temperature < 10",
+            name="q",
+        )
+        report = analyze_query(query, sensor_catalog)
+        assert report.has("COS201")
+
+
+class TestAnalyzeWorkload:
+    def test_defective_query_reported_and_quarantined(self, sensor_catalog):
+        bad = parse_query("SELECT T.bogus FROM Temp [Now] T", name="bad")
+        good = parse_query("SELECT T.station FROM Temp [Now] T", name="good")
+        report = analyze_workload(
+            Workload("w", sensor_catalog, [bad, good])
+        )
+        assert report.has("COS102")
+        # The bad query is kept out of grouping/overlay construction,
+        # so no cascading COS3xx/COS4xx findings appear.
+        assert not any(c.startswith("COS3") for c in report.codes())
+        assert not any(c.startswith("COS4") for c in report.codes())
+
+
+class TestRunCheck:
+    def test_exit_zero_on_builtins(self, capsys):
+        assert run_check([]) == 0
+        out = capsys.readouterr().out
+        assert "workload auction" in out and "workload sensorscope" in out
+
+    def test_single_workload(self, capsys):
+        assert run_check(["--workload", "auction"]) == 0
+        assert "auction: clean" in capsys.readouterr().out
+
+
+class TestSubmitHook:
+    def _system(self, line_tree, sensor_catalog):
+        system = CosmosSystem(line_tree, processor_nodes=[2], static_check=True)
+        for index, schema in enumerate(sorted(sensor_catalog, key=lambda s: s.name)):
+            system.add_source(schema, index % 2)
+        return system
+
+    def test_rejects_defective_query(self, line_tree, sensor_catalog):
+        system = self._system(line_tree, sensor_catalog)
+        with pytest.raises(SystemError_, match="COS102"):
+            system.submit("SELECT T.bogus FROM Temp [Now] T", user_node=4)
+        assert system.queries == []  # nothing was installed
+
+    def test_rejects_unsatisfiable_query(self, line_tree, sensor_catalog):
+        system = self._system(line_tree, sensor_catalog)
+        with pytest.raises(SystemError_, match="COS201"):
+            system.submit(
+                "SELECT T.station FROM Temp [Now] T "
+                "WHERE T.temperature > 30 AND T.temperature < 10",
+                user_node=4,
+            )
+
+    def test_accepts_clean_query(self, line_tree, sensor_catalog):
+        system = self._system(line_tree, sensor_catalog)
+        handle = system.submit(
+            "SELECT T.station FROM Temp [Now] T WHERE T.temperature > 30",
+            user_node=4,
+        )
+        assert handle.query_id in [q.query_id for q in system.queries]
+
+    def test_hook_is_opt_in(self, line_tree, sensor_catalog):
+        system = CosmosSystem(line_tree, processor_nodes=[2])
+        for index, schema in enumerate(sorted(sensor_catalog, key=lambda s: s.name)):
+            system.add_source(schema, index % 2)
+        # Without static_check an unsatisfiable (but well-formed) query
+        # is accepted as before — it just never produces results.
+        system.submit(
+            "SELECT T.station FROM Temp [Now] T "
+            "WHERE T.temperature > 30 AND T.temperature < 10",
+            user_node=4,
+        )
+        assert len(system.queries) == 1

@@ -1,0 +1,136 @@
+"""The independent difference-bound solver behind the COS2xx checks."""
+
+from repro.analysis.intervals import (
+    ConstraintSystem,
+    implies,
+    is_unsatisfiable,
+    solve,
+    vacuous_atoms,
+)
+from repro.cql.predicates import (
+    Comparison,
+    Conjunction,
+    DifferenceConstraint,
+    Interval,
+    JoinPredicate,
+)
+
+
+def conj(*atoms):
+    return Conjunction.from_atoms(list(atoms))
+
+
+class TestSatisfiability:
+    def test_empty_is_satisfiable(self):
+        assert not is_unsatisfiable(Conjunction())
+
+    def test_empty_interval(self):
+        assert is_unsatisfiable(conj(Comparison("S.a", ">", 5), Comparison("S.a", "<", 3)))
+
+    def test_point_exclusion(self):
+        assert is_unsatisfiable(conj(Comparison("S.a", "=", 5), Comparison("S.a", "!=", 5)))
+
+    def test_transitive_difference_chain(self):
+        # a <= b - 1, b <= c - 1, but a >= c: unsat only via the chain.
+        chain = conj(
+            DifferenceConstraint("S.a", "S.b", Interval(None, -1)),
+            DifferenceConstraint("S.b", "S.c", Interval(None, -1)),
+            DifferenceConstraint("S.a", "S.c", Interval(0, None)),
+        )
+        assert is_unsatisfiable(chain)
+        # The pairwise legacy check cannot see this (solver is stronger).
+        assert chain.is_satisfiable()
+
+    def test_strict_zero_cycle(self):
+        # a - b < 0 and b - a <= 0 has no model.
+        cycle = conj(
+            DifferenceConstraint("S.a", "S.b", Interval(None, 0, hi_strict=True)),
+            DifferenceConstraint("S.b", "S.a", Interval(None, 0)),
+        )
+        assert is_unsatisfiable(cycle)
+
+    def test_equality_link_propagates_bounds(self):
+        linked = conj(
+            JoinPredicate("S.a", "S.b"),
+            Comparison("S.a", ">", 10),
+            Comparison("S.b", "<", 5),
+        )
+        assert is_unsatisfiable(linked)
+
+    def test_seed_domains(self):
+        pred = conj(Comparison("S.a", ">", 100))
+        assert not is_unsatisfiable(pred)
+        assert is_unsatisfiable(pred, {"S.a": Interval(0, 50)})
+
+    def test_string_equality(self):
+        assert is_unsatisfiable(
+            conj(Comparison("S.a", "=", "x"), Comparison("S.a", "=", "y"))
+        )
+        assert not is_unsatisfiable(conj(Comparison("S.a", "=", "x")))
+
+
+class TestSolution:
+    def test_tightened_domains(self):
+        system = ConstraintSystem(
+            conj(
+                Comparison("S.a", ">=", 0),
+                DifferenceConstraint("S.b", "S.a", Interval(3, None)),
+                Comparison("S.b", "<=", 10),
+            )
+        )
+        assert system.satisfiable
+        # b >= a + 3 >= 3, and a <= b - 3 <= 7.
+        assert system.domain("S.b").lo == 3
+        assert system.domain("S.a").hi == 7
+
+    def test_tightest_diff(self):
+        system = ConstraintSystem(
+            conj(
+                DifferenceConstraint("S.a", "S.b", Interval(None, -1)),
+                DifferenceConstraint("S.b", "S.c", Interval(None, -2)),
+            )
+        )
+        diff = system.tightest_diff("S.a", "S.c")
+        assert diff.hi == -3
+
+    def test_solution_object(self):
+        sol = solve(conj(Comparison("S.a", ">", 3), Comparison("S.a", "!=", 7)))
+        assert sol.satisfiable
+        assert 7 in sol.excluded_values("S.a")
+        assert sol.domain("S.a").lo == 3
+
+
+class TestImplication:
+    def test_interval_implication(self):
+        assert implies(conj(Comparison("S.a", ">", 5)), conj(Comparison("S.a", ">", 3)))
+        assert not implies(conj(Comparison("S.a", ">", 3)), conj(Comparison("S.a", ">", 5)))
+
+    def test_chained_difference_implication(self):
+        premise = conj(
+            DifferenceConstraint("S.a", "S.b", Interval(None, -1)),
+            DifferenceConstraint("S.b", "S.c", Interval(None, -1)),
+        )
+        conclusion = conj(DifferenceConstraint("S.a", "S.c", Interval(None, 0)))
+        assert implies(premise, conclusion)
+        # Legacy pairwise implication cannot chain.
+        assert not premise.implies(conclusion)
+
+    def test_unknown_conclusion_term_not_implied(self):
+        assert not implies(conj(Comparison("S.a", ">", 5)), conj(Comparison("S.b", ">", 3)))
+
+    def test_seed_can_discharge_conclusion(self):
+        assert implies(
+            conj(Comparison("S.a", ">", 5)),
+            conj(Comparison("S.b", ">=", 0)),
+            {"S.b": Interval(0, 10)},
+        )
+
+
+class TestVacuousAtoms:
+    def test_redundant_bound(self):
+        atoms = [Comparison("S.a", ">", 5), Comparison("S.a", ">", 3)]
+        assert vacuous_atoms(atoms) == [atoms[1]]
+
+    def test_independent_atoms_are_kept(self):
+        atoms = [Comparison("S.a", ">", 5), Comparison("S.b", ">", 3)]
+        assert vacuous_atoms(atoms) == []

@@ -1,0 +1,133 @@
+"""COS4xx: seeded overlay/routing defects must be flagged."""
+
+from repro.analysis.overlay import (
+    check_network,
+    check_overlay_graph,
+    check_reachability,
+    check_routing_entries,
+)
+from repro.cbn.filters import ALL_ATTRIBUTES, Profile
+from repro.cbn.network import ContentBasedNetwork
+from repro.cbn.routing import RoutingTable
+from repro.cql.schema import Attribute, Catalog, StreamSchema
+from repro.overlay.tree import DisseminationTree
+
+
+def _schema(name="Temp"):
+    return StreamSchema(
+        name,
+        [Attribute("station", "int", 0, 9), Attribute("t", "timestamp")],
+        rate=1.0,
+    )
+
+
+def _network(line_tree):
+    return ContentBasedNetwork(line_tree, Catalog([_schema()]))
+
+
+def _all(stream="Temp"):
+    return Profile({stream: ALL_ATTRIBUTES}, ())
+
+
+class TestOverlayGraph:
+    def test_tree_is_clean(self):
+        report = check_overlay_graph([0, 1, 2], [(0, 1), (1, 2)])
+        assert report.is_clean
+
+    def test_cycle(self):
+        report = check_overlay_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)])
+        assert report.has("COS402")
+        assert "cycle" in report.errors[0].message
+
+    def test_disconnection(self):
+        report = check_overlay_graph([0, 1, 2, 3], [(0, 1), (2, 3)])
+        assert report.has("COS402")
+        assert "disconnected" in report.errors[0].message
+
+    def test_self_loop_and_dangling_edge(self):
+        report = check_overlay_graph([0, 1], [(0, 0), (1, 7)])
+        messages = " ".join(d.message for d in report)
+        assert "self-loop" in messages and "outside the overlay" in messages
+
+    def test_duplicate_edge(self):
+        report = check_overlay_graph([0, 1], [(0, 1), (1, 0)])
+        assert report.has("COS402")
+
+
+class TestReachability:
+    def test_routed_network_is_clean(self, line_tree):
+        network = _network(line_tree)
+        network.advertise("Temp", 0, _schema())
+        network.subscribe(_all(), 4, "s1")
+        assert check_network(network).is_clean
+
+    def test_missing_hop_entry(self, line_tree):
+        network = _network(line_tree)
+        network.advertise("Temp", 0, _schema())
+        network.subscribe(_all(), 4, "s1")
+        # Seeded defect: surgically drop the forwarding entry at broker 2.
+        del network.table(2)._entries[3]["s1#Temp"]
+        report = check_reachability(network)
+        assert report.has("COS401")
+        assert "broker 2" in report.errors[0].message
+
+    def test_no_publisher(self, line_tree):
+        network = _network(line_tree)
+        network.subscribe(_all(), 4, "s1")
+        report = check_reachability(network)
+        assert report.has("COS404")
+        assert report.exit_code() == 0  # warning: may advertise later
+
+    def test_missing_local_entry(self, line_tree):
+        network = _network(line_tree)
+        network.advertise("Temp", 0, _schema())
+        network.subscribe(_all(), 4, "s1")
+        del network.table(4)._entries[RoutingTable.LOCAL]["s1"]
+        assert check_reachability(network).has("COS401")
+
+
+class TestRoutingEntries:
+    def test_orphan_entry(self, line_tree):
+        network = _network(line_tree)
+        network.advertise("Temp", 0, _schema())
+        network.subscribe(_all(), 4, "s1")
+        # Seeded defect: install forwarding state for a subscription
+        # that does not exist (e.g. leaked by a buggy unsubscribe).
+        network.table(2).install(3, "ghost#Temp", _all())
+        report = check_routing_entries(network)
+        assert report.has("COS403")
+        assert "ghost" in report.warnings[0].message
+
+    def test_entry_behind_non_neighbour(self, line_tree):
+        network = _network(line_tree)
+        network.advertise("Temp", 0, _schema())
+        network.subscribe(_all(), 4, "s1")
+        network.table(2).install(99, "s1#Temp", _all())
+        assert check_routing_entries(network).has("COS403")
+
+    def test_unsubscribe_leaves_no_orphans(self, line_tree):
+        network = _network(line_tree)
+        network.advertise("Temp", 0, _schema())
+        sid = network.subscribe(_all(), 4)
+        network.unsubscribe(sid)
+        assert check_routing_entries(network).is_clean
+
+
+class TestCheckNetwork:
+    def test_redundant_entries_warn(self, line_tree):
+        network = _network(line_tree)
+        network.advertise("Temp", 0, _schema())
+        network.subscribe(_all(), 4, "broad")
+        network.subscribe(_all(), 4, "narrow")
+        report = check_network(network)
+        assert report.has("COS203")
+        assert report.exit_code() == 0
+
+    def test_subsumption_mode_suppresses_redundancy(self, line_tree):
+        network = ContentBasedNetwork(
+            line_tree, Catalog([_schema()]), use_subsumption=True
+        )
+        network.advertise("Temp", 0, _schema())
+        network.subscribe(_all(), 4, "broad")
+        network.subscribe(_all(), 4, "narrow")
+        assert check_network(network).is_clean

@@ -1,0 +1,89 @@
+"""COS3xx: seeded plan defects (broken groups) must be flagged."""
+
+from repro.analysis.plans import check_group, check_groups
+from repro.core.grouping import GroupingOptimizer, QueryGroup
+from repro.cql.parser import parse_query
+
+
+def _group(rep, members, gid="g0"):
+    return QueryGroup(gid, list(members), rep, representative_rate=1.0)
+
+
+class TestCheckGroup:
+    def test_real_grouping_is_clean(self, auction_catalog, q1, q2, q3):
+        optimizer = GroupingOptimizer(auction_catalog)
+        for query in (q1, q2, q3):
+            optimizer.add(query)
+        assert check_groups(optimizer.groups, auction_catalog).is_clean
+
+    def test_representative_must_contain_member(self, sensor_catalog):
+        member = parse_query(
+            "SELECT T.station FROM Temp [Range 10 Seconds] T", name="m"
+        )
+        rep = parse_query(
+            "SELECT T.station FROM Temp [Range 5 Seconds] T "
+            "WHERE T.station < 3",
+            name="rep",
+        )
+        report = check_group(_group(rep, [member]), sensor_catalog)
+        assert report.has("COS301")
+
+    def test_member_outputs_must_be_reproducible(self, sensor_catalog):
+        member = parse_query(
+            "SELECT T.station, T.temperature FROM Temp [Now] T", name="m"
+        )
+        rep = parse_query("SELECT T.station FROM Temp [Now] T", name="rep")
+        report = check_group(_group(rep, [member]), sensor_catalog)
+        assert report.has("COS302")
+
+    def test_residual_attributes_must_be_carried(self, sensor_catalog):
+        member = parse_query(
+            "SELECT T.station FROM Temp [Now] T WHERE T.humidity > 50",
+            name="m",
+        )
+        rep = parse_query("SELECT T.station FROM Temp [Now] T", name="rep")
+        report = check_group(_group(rep, [member]), sensor_catalog)
+        assert report.has("COS303")
+
+    def test_identity_group_is_clean(self, sensor_catalog):
+        query = parse_query(
+            "SELECT T.station, T.humidity FROM Temp [Range 5 Seconds] T "
+            "WHERE T.humidity > 50",
+            name="m",
+        )
+        report = check_group(_group(query, [query]), sensor_catalog)
+        assert report.is_clean
+
+    def test_widened_window_needs_timestamps(self, sensor_catalog):
+        # A representative with a widened join window must output the
+        # member's timestamps for the window residual to be evaluable.
+        member = parse_query(
+            "SELECT T.station, W.speed FROM Temp [Range 5 Seconds] T, "
+            "Wind [Now] W WHERE T.station = W.station",
+            name="m",
+        )
+        rep = parse_query(
+            "SELECT T.station, W.speed FROM Temp [Range 10 Seconds] T, "
+            "Wind [Now] W WHERE T.station = W.station",
+            name="rep",
+        )
+        report = check_group(_group(rep, [member]), sensor_catalog)
+        # The residual needs Temp.timestamp / Wind.timestamp which the
+        # representative does not project.
+        assert report.has("COS303")
+
+    def test_widened_window_with_timestamps_is_clean(self, sensor_catalog):
+        member = parse_query(
+            "SELECT T.station, T.timestamp, W.timestamp FROM "
+            "Temp [Range 5 Seconds] T, Wind [Now] W "
+            "WHERE T.station = W.station",
+            name="m",
+        )
+        rep = parse_query(
+            "SELECT T.station, T.timestamp, W.timestamp FROM "
+            "Temp [Range 10 Seconds] T, Wind [Now] W "
+            "WHERE T.station = W.station",
+            name="rep",
+        )
+        report = check_group(_group(rep, [member]), sensor_catalog)
+        assert report.is_clean

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Offline CI gate: lint, static analysis, tier-1 tests.  No network.
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "== lint =="
+python tools/lint_repro.py
+
+echo "== repro check =="
+PYTHONPATH=src python -m repro check
+
+echo "== tier-1 tests =="
+PYTHONPATH=src:. python -m pytest -x -q
+
+echo "== ci: all gates passed =="

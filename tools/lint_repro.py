@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A tiny stdlib-ast lint for ``src/repro/**``.
+
+Three rules, all of which have bitten stream-processing code before:
+
+* **L001 mutable default argument** — a ``def f(x=[])`` default is
+  created once and shared across calls; routing tables and profile
+  lists silently accumulate state.
+* **L002 bare except** — ``except:`` catches ``KeyboardInterrupt`` and
+  ``SystemExit`` too, hanging long-running broker loops.
+* **L003 missing future annotations** — every module in the package
+  imports ``from __future__ import annotations`` so forward references
+  in the layered API stay cheap and consistent.
+
+Usage::
+
+    python tools/lint_repro.py [root]
+
+Exits 0 when clean, 1 with one ``file:line: code message`` per finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+Finding = Tuple[Path, int, str, str]
+
+MUTABLE_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def _mutable_defaults(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, MUTABLE_NODES):
+                yield (
+                    default.lineno,
+                    f"mutable default argument in {node.name}()",
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            ):
+                yield (
+                    default.lineno,
+                    f"mutable default argument in {node.name}()",
+                )
+
+
+def _bare_excepts(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield node.lineno, "bare except: catches SystemExit/KeyboardInterrupt"
+
+
+def _has_future_annotations(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            if any(alias.name == "annotations" for alias in node.names):
+                return True
+    return False
+
+
+def lint_file(path: Path) -> List[Finding]:
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    findings: List[Finding] = []
+    for line, message in _mutable_defaults(tree):
+        findings.append((path, line, "L001", message))
+    for line, message in _bare_excepts(tree):
+        findings.append((path, line, "L002", message))
+    if source.strip() and not _has_future_annotations(tree):
+        findings.append(
+            (path, 1, "L003", "missing 'from __future__ import annotations'")
+        )
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    package = root / "src" / "repro"
+    if not package.is_dir():
+        print(f"lint_repro: no package at {package}", file=sys.stderr)
+        return 2
+    findings: List[Finding] = []
+    for path in sorted(package.rglob("*.py")):
+        findings.extend(lint_file(path))
+    for path, line, code, message in findings:
+        print(f"{path.relative_to(root)}:{line}: {code} {message}")
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print(f"lint_repro: clean ({sum(1 for _ in package.rglob('*.py'))} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
