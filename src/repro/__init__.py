@@ -24,6 +24,8 @@ Layer map (bottom up):
   table of the paper's evaluation.
 """
 
+from __future__ import annotations
+
 from repro.cbn import ContentBasedNetwork, Datagram, Filter, Profile
 from repro.cql import ContinuousQuery, parse_query, to_cql
 from repro.cql.schema import Attribute, Catalog, StreamSchema

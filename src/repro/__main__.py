@@ -1,5 +1,7 @@
 """``python -m repro`` — the command-line interface."""
 
+from __future__ import annotations
+
 from repro.cli import main
 
 if __name__ == "__main__":

@@ -10,6 +10,8 @@ two can be compared on identical workloads
 (``benchmarks/test_baseline_unicast.py``).
 """
 
+from __future__ import annotations
+
 from repro.baselines.unicast import UnicastNetwork, UnicastCostModel
 
 __all__ = ["UnicastCostModel", "UnicastNetwork"]

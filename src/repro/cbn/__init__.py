@@ -16,6 +16,8 @@ COSMOS extends the classic CBN in two ways this package implements:
   early as possible (:mod:`repro.cbn.routing`).
 """
 
+from __future__ import annotations
+
 from repro.cbn.datagram import Datagram
 from repro.cbn.dht import ConsistentHashRing
 from repro.cbn.filters import Filter, Profile

@@ -16,6 +16,8 @@ The query layer of a processor:
 * ties it all together per processor (:mod:`repro.core.manager`).
 """
 
+from __future__ import annotations
+
 from repro.core.containment import contains, unbounded_contains
 from repro.core.cost import CostModel
 from repro.core.grouping import GroupingOptimizer, QueryGroup

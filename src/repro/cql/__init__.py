@@ -18,6 +18,8 @@ provides the pieces every other layer builds on:
 * :mod:`repro.cql.text` -- rendering an AST back to CQL text.
 """
 
+from __future__ import annotations
+
 from repro.cql.ast import (
     Aggregate,
     ContinuousQuery,

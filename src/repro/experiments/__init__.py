@@ -10,6 +10,8 @@
   ``python -m repro.experiments`` entry point.
 """
 
+from __future__ import annotations
+
 from repro.experiments.fig3 import Fig3Result, run_fig3
 from repro.experiments.fig4 import Fig4Config, Fig4Result, run_fig4
 from repro.experiments.table1 import Table1Result, run_table1

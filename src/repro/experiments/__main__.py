@@ -1,5 +1,7 @@
 """``python -m repro.experiments`` — run all experiments and print reports."""
 
+from __future__ import annotations
+
 from repro.experiments.runner import main
 
 if __name__ == "__main__":

@@ -14,6 +14,8 @@ trees over a wide-area topology (section 3.2).  This package provides:
   reorganisation of refs [18, 19] with a configurable cost function.
 """
 
+from __future__ import annotations
+
 from repro.overlay.metrics import LinkStats
 from repro.overlay.optimizer import OverlayOptimizer, weighted_traffic_cost
 from repro.overlay.topology import Topology, barabasi_albert, waxman

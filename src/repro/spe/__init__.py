@@ -16,6 +16,8 @@ query layer relies on:
   concrete engine (:mod:`repro.spe.wrappers`).
 """
 
+from __future__ import annotations
+
 from repro.spe.engine import QueryResult, StreamProcessingEngine
 from repro.spe.windows import WindowBuffer
 from repro.spe.wrappers import (

@@ -9,6 +9,8 @@ fault tolerance (:mod:`repro.system.fault`) and a small discrete-event
 simulator (:mod:`repro.system.events`).
 """
 
+from __future__ import annotations
+
 from repro.system.cosmos import CosmosSystem, SubmittedQuery
 from repro.system.delivery import DeliveryCostModel, GroupPlacement
 from repro.system.distribution import (

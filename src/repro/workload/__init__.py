@@ -12,6 +12,8 @@
   predicates based on a distribution (uniform or zipfian)").
 """
 
+from __future__ import annotations
+
 from repro.workload.auction import (
     AuctionWorkload,
     CLOSED_AUCTION_SCHEMA,
