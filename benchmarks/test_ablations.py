@@ -55,8 +55,7 @@ def _projection_scenario(early_projection: bool) -> float:
             Profile({"ss00": projection}), rng.randrange(1, 60), f"u{index}"
         )
     feed = SensorScopeReplayer(catalog, random.Random(4)).feed(30.0)
-    for datagram in feed:
-        net.publish(datagram, 0)
+    net.publish_many(feed, 0)
     return net.data_stats.total_bytes()
 
 

@@ -63,10 +63,14 @@ def _run(network_cls, catalog, tree, feed, profiles, placements):
         net.advertise(schema.name, index, schema)
     for index, (profile, node) in enumerate(zip(profiles, placements)):
         net.subscribe(profile, node, f"u{index}")
-    delivered = 0
+    batches = {}
     for datagram in feed:
-        source = int(datagram.stream[2:])
-        delivered += len(net.publish(datagram, source))
+        batches.setdefault(int(datagram.stream[2:]), []).append(datagram)
+    delivered = sum(
+        len(deliveries)
+        for source, batch in batches.items()
+        for deliveries in net.publish_many(batch, source)
+    )
     return delivered, net.data_stats.total_bytes()
 
 

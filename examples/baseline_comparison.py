@@ -52,9 +52,14 @@ def run(network_cls, count):
         net.advertise(schema.name, index, schema)
     for index, profile in subscriptions(count, random.Random(3)):
         net.subscribe(profile, placement_rng.randrange(150), f"u{index}")
-    delivered = 0
+    batches = {}
     for datagram in feed:
-        delivered += len(net.publish(datagram, int(datagram.stream[2:])))
+        batches.setdefault(int(datagram.stream[2:]), []).append(datagram)
+    delivered = sum(
+        len(deliveries)
+        for origin, batch in batches.items()
+        for deliveries in net.publish_many(batch, origin)
+    )
     return delivered, net.data_stats.total_bytes()
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cbn.datagram import Datagram
 from repro.cbn.filters import ALL_ATTRIBUTES, Profile
@@ -107,7 +107,33 @@ class UnicastNetwork:
         """One independent flow per matching subscription."""
         if node not in self._tree:
             raise NetworkError(f"unknown broker {node}")
-        widths = self._widths_for(datagram.stream)
+        return self._route(datagram, node, self._widths_for(datagram.stream))
+
+    def publish_many(
+        self, datagrams: Iterable[Datagram], node: NodeId
+    ) -> List[List[Delivery]]:
+        """Batched :meth:`publish`: one delivery list per datagram.
+
+        Mirrors :meth:`ContentBasedNetwork.publish_many` so batched
+        drivers run unchanged against the baseline; the schema width
+        lookup is hoisted out of the loop (once per distinct stream).
+        """
+        if node not in self._tree:
+            raise NetworkError(f"unknown broker {node}")
+        widths: Dict[str, Optional[Dict[str, int]]] = {}
+        out: List[List[Delivery]] = []
+        for datagram in datagrams:
+            if datagram.stream not in widths:
+                widths[datagram.stream] = self._widths_for(datagram.stream)
+            out.append(self._route(datagram, node, widths[datagram.stream]))
+        return out
+
+    def _route(
+        self,
+        datagram: Datagram,
+        node: NodeId,
+        widths: Optional[Dict[str, int]],
+    ) -> List[Delivery]:
         deliveries: List[Delivery] = []
         for sub in self._subscriptions.values():
             projected = sub.profile.apply(datagram)

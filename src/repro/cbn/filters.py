@@ -100,6 +100,7 @@ class Profile:
         self._projections: Dict[str, FrozenSet[str]] = {
             stream: frozenset(attrs) for stream, attrs in projections.items()
         }
+        self._streams: FrozenSet[str] = frozenset(self._projections)
         self._filters: Tuple[Filter, ...] = tuple(filters)
         for flt in self._filters:
             if flt.stream not in self._projections:
@@ -114,7 +115,7 @@ class Profile:
     @property
     def streams(self) -> FrozenSet[str]:
         """``S``: the set of requested stream names."""
-        return frozenset(self._projections)
+        return self._streams
 
     @property
     def projections(self) -> Dict[str, FrozenSet[str]]:
@@ -166,13 +167,14 @@ class Profile:
 
     # -- algebra -------------------------------------------------------------------------
 
-    def _carried_attributes(self, stream: str) -> FrozenSet[str]:
+    def carried_attributes(self, stream: str) -> FrozenSet[str]:
         """Attributes a broker forwards when this profile matches.
 
         Early projection keeps the projection set *plus* the attributes
         this profile's own filters evaluate (they must survive for
         re-filtering at later hops); see
-        :meth:`repro.cbn.routing.RoutingTable.decide`.
+        :meth:`repro.cbn.routing.RoutingTable.decide`.  The routing
+        layer's compiled per-stream matchers precompute this set.
         """
         projection = self.projection_for(stream)
         if projection == ALL_ATTRIBUTES:
@@ -181,6 +183,9 @@ class Profile:
         for flt in self.filters_for(stream):
             carried |= flt.condition.referenced_terms()
         return frozenset(carried)
+
+    #: Backwards-compatible alias (pre-fast-path name).
+    _carried_attributes = carried_attributes
 
     def subsumes(self, other: "Profile") -> bool:
         """Is ``other`` redundant routing state next to this profile?
@@ -196,8 +201,8 @@ class Profile:
         for stream in other.streams:
             if stream not in self._projections:
                 return False
-            mine = self._carried_attributes(stream)
-            theirs = other._carried_attributes(stream)
+            mine = self.carried_attributes(stream)
+            theirs = other.carried_attributes(stream)
             if mine != ALL_ATTRIBUTES:
                 if theirs == ALL_ATTRIBUTES or not theirs <= mine:
                     return False

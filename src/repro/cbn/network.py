@@ -17,13 +17,30 @@ state.
 All data traffic is accounted in :attr:`ContentBasedNetwork.data_stats`
 and control traffic (subscriptions, advertisements) in
 :attr:`ContentBasedNetwork.control_stats`.
+
+Fast path
+---------
+Publication is the dominant cost of every experiment, so steady-state
+publishes run on cached state: per stream the network memoizes the
+dissemination tree, the schema width table, each broker's neighbour
+list and — from the routing tables' per-stream index — the *candidate
+interfaces* that have any entry for the stream.  The cache is
+epoch-versioned: every routing mutation (install/remove/
+remove_interface, reached via subscribe/unsubscribe/advertise) and
+every catalog registration bumps a version, and the next publish
+rebuilds only what it touches.  :meth:`ContentBasedNetwork.publish_many`
+batches a feed of datagrams injected at one broker so even the
+per-publish validation and cache probes are hoisted out of the loop.
+Constructing with ``fast_path=False`` retains the pre-index behaviour
+(full profile scans, per-publish dict rebuilding) as the reference for
+equivalence tests and before/after benchmarks.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cbn.datagram import Datagram
 from repro.cbn.filters import Profile
@@ -60,6 +77,49 @@ class _Advertisement:
     node: NodeId
 
 
+class _StreamFacts:
+    """Static per-stream facts the publish hot loop needs.
+
+    Everything here is a pure function of (routing state, catalog,
+    stream trees) and is invalidated wholesale when the owning
+    network's epoch moves: the dissemination tree the stream travels
+    on, its schema width table, each broker's neighbour tuple, and the
+    *candidate interfaces* per broker — the neighbours that have at
+    least one routing entry for the stream, everything else cannot
+    possibly forward.
+    """
+
+    __slots__ = ("stream", "tree", "widths", "_neighbors", "_candidates")
+
+    def __init__(
+        self,
+        stream: str,
+        tree: DisseminationTree,
+        widths: Optional[Dict[str, int]],
+    ) -> None:
+        self.stream = stream
+        self.tree = tree
+        self.widths = widths
+        self._neighbors: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        self._candidates: Dict[NodeId, Tuple[NodeId, ...]] = {}
+
+    def candidates(self, node: NodeId, table: RoutingTable) -> Tuple[NodeId, ...]:
+        """Neighbours of ``node`` with any entry for this stream."""
+        cached = self._candidates.get(node)
+        if cached is None:
+            neighbors = self._neighbors.get(node)
+            if neighbors is None:
+                neighbors = tuple(self.tree.neighbors(node))
+                self._neighbors[node] = neighbors
+            cached = tuple(
+                neighbor
+                for neighbor in neighbors
+                if table.has_stream_entries(neighbor, self.stream)
+            )
+            self._candidates[node] = cached
+        return cached
+
+
 class ContentBasedNetwork:
     """A simulated CBN over a dissemination tree of brokers.
 
@@ -75,6 +135,11 @@ class ContentBasedNetwork:
         the streams they request (default) instead of flooding.
     use_subsumption:
         Enable covering-based routing-table aggregation.
+    fast_path:
+        Route publications through the per-stream routing index and the
+        epoch-versioned decision cache (default).  ``False`` keeps the
+        naive scan-every-profile path; deliveries and traffic accounting
+        are identical either way, only the work per datagram differs.
     """
 
     def __init__(
@@ -84,12 +149,14 @@ class ContentBasedNetwork:
         scope_to_advertisements: bool = True,
         use_subsumption: bool = False,
         stream_trees: Optional[Mapping[str, DisseminationTree]] = None,
+        fast_path: bool = True,
     ) -> None:
         self._tree = tree
         self.catalog = catalog if catalog is not None else Catalog()
         self.use_subsumption = use_subsumption
         self.scope_to_advertisements = scope_to_advertisements
         self._scope = scope_to_advertisements
+        self.fast_path = fast_path
         #: Optional per-stream dissemination trees ("the nodes in COSMOS
         #: are organized into multiple overlay dissemination trees").
         #: Streams not listed use the default tree; every tree must span
@@ -100,11 +167,22 @@ class ContentBasedNetwork:
                 raise NetworkError(
                     f"tree for stream {stream!r} spans different nodes"
                 )
+        self._epoch = 0
         self._tables: Dict[NodeId, RoutingTable] = {
-            node: RoutingTable(node, use_subsumption) for node in tree.nodes
+            node: RoutingTable(
+                node,
+                use_subsumption,
+                use_index=fast_path,
+                on_change=self._bump_epoch,
+            )
+            for node in tree.nodes
         }
         self._subscriptions: Dict[str, _Subscription] = {}
         self._advertisements: Dict[str, List[_Advertisement]] = {}
+        #: stream -> facts, valid while ``_facts_key`` matches
+        #: (routing epoch, catalog version).
+        self._facts: Dict[str, _StreamFacts] = {}
+        self._facts_key: Tuple[int, int] = (-1, -1)
         weights = {edge: tree.weight(*edge) for edge in tree.edges}
         for stree in self._stream_trees.values():
             for edge in stree.edges:
@@ -143,6 +221,7 @@ class ContentBasedNetwork:
                     "can no longer change"
                 )
         self._stream_trees[stream] = tree
+        self._bump_epoch()
         for edge in tree.edges:
             weight = tree.weight(*edge)
             self.data_stats.add_weight(edge, weight)
@@ -153,6 +232,29 @@ class ContentBasedNetwork:
             return self._tables[node]
         except KeyError:
             raise NetworkError(f"unknown broker {node}") from None
+
+    # -- the decision cache -------------------------------------------------------
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+
+    @property
+    def routing_epoch(self) -> int:
+        """Monotone counter of routing-state mutations (cache key)."""
+        return self._epoch
+
+    def _facts_for(self, stream: str) -> _StreamFacts:
+        key = (self._epoch, self.catalog.version)
+        if self._facts_key != key:
+            self._facts.clear()
+            self._facts_key = key
+        facts = self._facts.get(stream)
+        if facts is None:
+            facts = _StreamFacts(
+                stream, self.tree_for(stream), self._widths_for(stream)
+            )
+            self._facts[stream] = facts
+        return facts
 
     # -- advertisement --------------------------------------------------------------
 
@@ -166,14 +268,21 @@ class ContentBasedNetwork:
 
         Existing subscriptions requesting the stream are (re-)propagated
         toward the new publisher so later publications reach them.
+        Re-advertising an already-known ``(stream, node)`` pair is a
+        no-op apart from schema (re-)registration: duplicates would
+        inflate :meth:`publishers_of` and make every later subscription
+        re-propagate (and be re-charged on ``control_stats``) once per
+        duplicate.
         """
         if node not in self._tables:
             raise NetworkError(f"unknown broker {node}")
-        self._advertisements.setdefault(stream, []).append(
-            _Advertisement(stream, node)
-        )
         if schema is not None:
             self.catalog.register(schema)
+        ads = self._advertisements.setdefault(stream, [])
+        if any(ad.node == node for ad in ads):
+            return
+        ads.append(_Advertisement(stream, node))
+        self._bump_epoch()
         if self._scope:
             for sub in self._subscriptions.values():
                 if stream in sub.profile.streams:
@@ -299,6 +408,77 @@ class ContentBasedNetwork:
         """
         if node not in self._tables:
             raise NetworkError(f"unknown broker {node}")
+        if not self.fast_path:
+            return self._publish_scan(datagram, node)
+        return self._route(datagram, node, self._facts_for(datagram.stream))
+
+    def publish_many(
+        self, datagrams: Iterable[Datagram], node: NodeId
+    ) -> List[List[Delivery]]:
+        """Inject a batch of datagrams at broker ``node``.
+
+        Returns one delivery list per datagram, in order — exactly what
+        per-datagram :meth:`publish` calls would produce — but hoists
+        the broker validation and the per-stream cache probes out of
+        the loop, so feed replays and benchmarks pay the lookup once
+        per distinct stream instead of once per datagram.
+        """
+        if node not in self._tables:
+            raise NetworkError(f"unknown broker {node}")
+        if not self.fast_path:
+            return [self._publish_scan(d, node) for d in datagrams]
+        facts: Dict[str, _StreamFacts] = {}
+        out: List[List[Delivery]] = []
+        for datagram in datagrams:
+            stream_facts = facts.get(datagram.stream)
+            if stream_facts is None:
+                stream_facts = self._facts_for(datagram.stream)
+                facts[datagram.stream] = stream_facts
+            out.append(self._route(datagram, node, stream_facts))
+        return out
+
+    def _route(
+        self, datagram: Datagram, node: NodeId, facts: _StreamFacts
+    ) -> List[Delivery]:
+        """The indexed hot path: candidate interfaces from the routing
+        index, cached widths/neighbours, per-copy size computed once."""
+        widths = facts.widths
+        record = self.data_stats.record
+        tables = self._tables
+        deliveries: List[Delivery] = []
+        #: (broker, interface it arrived from, datagram copy, its size
+        #: in bytes or None when not yet needed)
+        stack: List[Tuple[NodeId, Optional[NodeId], Datagram, Optional[float]]] = [
+            (node, None, datagram, None)
+        ]
+        while stack:
+            here, arrived_from, current, size = stack.pop()
+            table = tables[here]
+            for sid, projected in table.local_deliveries(current):
+                deliveries.append(Delivery(sid, here, projected))
+            for neighbor in facts.candidates(here, table):
+                if neighbor == arrived_from:
+                    continue
+                decision = table.decide(neighbor, current)
+                if not decision.forward:
+                    continue
+                keep = decision.attributes
+                payload = current.payload
+                if keep is None or all(attr in keep for attr in payload):
+                    # Projection keeps everything: reuse the immutable
+                    # datagram (and its already-computed size).
+                    outgoing, out_size = current, size
+                else:
+                    outgoing, out_size = current.project(keep), None
+                if out_size is None:
+                    out_size = outgoing.size_bytes(widths)
+                record(here, neighbor, out_size)
+                stack.append((neighbor, here, outgoing, out_size))
+        return deliveries
+
+    def _publish_scan(self, datagram: Datagram, node: NodeId) -> List[Delivery]:
+        """The pre-index reference path: every profile behind every
+        interface is evaluated and per-publish state is rebuilt."""
         widths = self._widths_for(datagram.stream)
         tree = self.tree_for(datagram.stream)
         deliveries: List[Delivery] = []

@@ -11,12 +11,43 @@ Routing tables optionally aggregate with *subsumption*: a newly
 installed profile that is subsumed by an existing one on the same
 interface is not stored (and does not need further propagation), the
 classic CBN optimisation (Siena-style covering).
+
+Fast path
+---------
+Matching is the hot operation of the whole system: every datagram hop
+evaluates the profiles behind every interface.  The table therefore
+maintains a **per-(interface, stream) index**: each entry is indexed
+under every stream its profile requests, so :meth:`RoutingTable.decide`
+and :meth:`RoutingTable.local_deliveries` only touch entries whose
+stream set includes the datagram's stream.  On top of the index sit
+lazily **compiled matchers** — per entry the per-stream filter
+conditions, projection set and carried-attribute set are precomputed —
+with two short-circuits: a covering entry that wants all attributes
+ends evaluation immediately (projection can no longer narrow), and once
+the accumulated attribute union reaches the per-(interface, stream)
+upper bound the remaining entries cannot change the decision either.
+
+Every mutation bumps :attr:`RoutingTable.epoch`; compiled state is
+rebuilt lazily when the epoch moves, and the owning network layer uses
+the same signal (via ``on_change``) to invalidate its own per-stream
+caches.  Constructing the table with ``use_index=False`` keeps the
+pre-index scan-everything behaviour, used as the reference
+implementation by the equivalence property tests and the before/after
+benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.cbn.datagram import Datagram
 from repro.cbn.filters import ALL_ATTRIBUTES, Profile
@@ -40,6 +71,47 @@ class ForwardDecision:
     attributes: Optional[FrozenSet[str]] = None
 
 
+class _CompiledEntry:
+    """One routing entry pre-resolved for a single stream.
+
+    Everything :meth:`RoutingTable.decide` needs per evaluation is
+    precomputed here so the hot loop performs no profile introspection:
+    the filter conditions for the stream (empty means unconditional),
+    the projection set (for local delivery), the carried-attribute set
+    (projection plus filter-referenced attributes, for forwarding) and
+    the wants-all flag.
+    """
+
+    __slots__ = ("entry_id", "profile", "conditions", "projection", "carried", "wants_all")
+
+    def __init__(self, entry_id: str, profile: Profile, stream: str) -> None:
+        self.entry_id = entry_id
+        self.profile = profile
+        self.conditions = tuple(
+            flt.condition for flt in profile.filters_for(stream)
+        )
+        self.projection = profile.projection_for(stream)
+        self.carried = profile.carried_attributes(stream)
+        self.wants_all = self.projection == ALL_ATTRIBUTES
+
+    def covers(self, payload) -> bool:
+        conditions = self.conditions
+        if not conditions:
+            return True
+        for condition in conditions:
+            if condition.evaluate(payload):
+                return True
+        return False
+
+
+#: Compiled matching state for one (interface, stream):
+#: (entries, any_wants_all, attribute-union upper bound over non-wants-all
+#: entries).
+_Plan = Tuple[List[_CompiledEntry], bool, FrozenSet[str]]
+
+_EMPTY_PLAN: _Plan = ([], False, frozenset())
+
+
 class RoutingTable:
     """Routing state of one broker.
 
@@ -51,12 +123,52 @@ class RoutingTable:
     #: Interface key for locally attached subscribers.
     LOCAL: object = "local"
 
-    def __init__(self, node: NodeId, use_subsumption: bool = False) -> None:
+    def __init__(
+        self,
+        node: NodeId,
+        use_subsumption: bool = False,
+        use_index: bool = True,
+        on_change: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.node = node
         self._use_subsumption = use_subsumption
+        self._use_index = use_index
+        #: Invoked after every state mutation (the network layer hooks
+        #: its cache invalidation here).
+        self.on_change = on_change
+        #: Bumped on every mutation; all derived state keys on it.
+        self.epoch = 0
         self._entries: Dict[object, Dict[str, Profile]] = {}
+        #: interface -> stream -> entry id -> profile (install order
+        #: preserved per bucket, mirroring ``_entries``).
+        self._by_stream: Dict[object, Dict[str, Dict[str, Profile]]] = {}
+        #: (interface, stream) -> compiled plan, valid at ``_plans_epoch``.
+        self._plans: Dict[Tuple[object, str], _Plan] = {}
+        self._plans_epoch = 0
 
     # -- maintenance -----------------------------------------------------------
+
+    def _touch(self) -> None:
+        self.epoch += 1
+        if self.on_change is not None:
+            self.on_change()
+
+    def _index_entry(self, interface: object, entry_id: str, profile: Profile) -> None:
+        streams = self._by_stream.setdefault(interface, {})
+        for stream in profile.streams:
+            streams.setdefault(stream, {})[entry_id] = profile
+
+    def _unindex_entry(self, interface: object, entry_id: str, profile: Profile) -> None:
+        streams = self._by_stream.get(interface)
+        if streams is None:
+            return
+        for stream in profile.streams:
+            bucket = streams.get(stream)
+            if bucket is None:
+                continue
+            bucket.pop(entry_id, None)
+            if not bucket:
+                del streams[stream]
 
     def install(self, interface: object, subscription_id: str, profile: Profile) -> bool:
         """Install a profile behind an interface.
@@ -78,8 +190,14 @@ class RoutingTable:
                 sid for sid, p in entries.items() if profile.subsumes(p)
             ]
             for sid in redundant:
+                self._unindex_entry(interface, sid, entries[sid])
                 del entries[sid]
+        previous = entries.get(subscription_id)
+        if previous is not None:
+            self._unindex_entry(interface, subscription_id, previous)
         entries[subscription_id] = profile
+        self._index_entry(interface, subscription_id, profile)
+        self._touch()
         return True
 
     def remove(self, subscription_id: str) -> None:
@@ -89,13 +207,25 @@ class RoutingTable:
         layer installs under ``"<id>#<stream>"`` composite keys.
         """
         prefix = subscription_id + "#"
-        for entries in self._entries.values():
-            entries.pop(subscription_id, None)
-            for key in [k for k in entries if k.startswith(prefix)]:
+        changed = False
+        for interface, entries in self._entries.items():
+            doomed = [
+                key
+                for key in entries
+                if key == subscription_id or key.startswith(prefix)
+            ]
+            for key in doomed:
+                self._unindex_entry(interface, key, entries[key])
                 del entries[key]
+                changed = True
+        if changed:
+            self._touch()
 
     def remove_interface(self, interface: object) -> None:
-        self._entries.pop(interface, None)
+        removed = self._entries.pop(interface, None)
+        self._by_stream.pop(interface, None)
+        if removed:
+            self._touch()
 
     def profiles(self, interface: object) -> List[Profile]:
         return list(self._entries.get(interface, {}).values())
@@ -115,11 +245,82 @@ class RoutingTable:
     def entry_count(self) -> int:
         return sum(len(entries) for entries in self._entries.values())
 
-    # -- forwarding -----------------------------------------------------------------
+    # -- the index -------------------------------------------------------------
+
+    def stream_entries(self, interface: object, stream: str) -> Dict[str, Profile]:
+        """Entry-id -> profile behind ``interface`` requesting ``stream``."""
+        return dict(self._by_stream.get(interface, {}).get(stream, {}))
+
+    def stream_interfaces(self, stream: str) -> List[object]:
+        """Interfaces with at least one entry requesting ``stream``."""
+        return [
+            interface
+            for interface, streams in self._by_stream.items()
+            if streams.get(stream)
+        ]
+
+    def has_stream_entries(self, interface: object, stream: str) -> bool:
+        return bool(self._by_stream.get(interface, {}).get(stream))
+
+    def _plan(self, interface: object, stream: str) -> _Plan:
+        """The compiled matchers for one (interface, stream), cached
+        until the next table mutation."""
+        if self._plans_epoch != self.epoch:
+            self._plans.clear()
+            self._plans_epoch = self.epoch
+        key = (interface, stream)
+        plan = self._plans.get(key)
+        if plan is None:
+            bucket = self._by_stream.get(interface, {}).get(stream)
+            if not bucket:
+                plan = _EMPTY_PLAN
+            else:
+                compiled = [
+                    _CompiledEntry(entry_id, profile, stream)
+                    for entry_id, profile in bucket.items()
+                ]
+                any_wants_all = any(e.wants_all for e in compiled)
+                bound = frozenset().union(
+                    *(e.carried for e in compiled if not e.wants_all)
+                )
+                plan = (compiled, any_wants_all, bound)
+            self._plans[key] = plan
+        return plan
+
+    # -- forwarding ------------------------------------------------------------
 
     def decide(self, interface: object, datagram: Datagram) -> ForwardDecision:
         """Should ``datagram`` be forwarded on ``interface``, and with
         which attributes retained?"""
+        if not self._use_index:
+            return self._decide_scan(interface, datagram)
+        compiled, any_wants_all, bound = self._plan(interface, datagram.stream)
+        if not compiled:
+            return ForwardDecision(False)
+        payload = datagram.payload
+        needed: Set[str] = set()
+        forward = False
+        bound_size = len(bound)
+        for entry in compiled:
+            if not entry.covers(payload):
+                continue
+            forward = True
+            if entry.wants_all:
+                # Projection can no longer narrow: no later entry can
+                # shrink the attribute set back below "everything".
+                return ForwardDecision(True, None)
+            needed |= entry.carried
+            if not any_wants_all and len(needed) == bound_size:
+                # The union upper bound is reached; the remaining
+                # entries can only contribute attributes already kept.
+                break
+        if not forward:
+            return ForwardDecision(False)
+        return ForwardDecision(True, frozenset(needed))
+
+    def _decide_scan(self, interface: object, datagram: Datagram) -> ForwardDecision:
+        """The pre-index reference path: evaluate every profile behind
+        the interface, whatever streams it requests."""
         needed: Set[str] = set()
         wants_all = False
         forward = False
@@ -147,9 +348,23 @@ class RoutingTable:
         self, datagram: Datagram
     ) -> List[Tuple[str, Datagram]]:
         """(subscription_id, projected datagram) for local matches."""
-        out: List[Tuple[str, Datagram]] = []
-        for sid, profile in self._entries.get(self.LOCAL, {}).items():
-            projected = profile.apply(datagram)
-            if projected is not None:
-                out.append((sid, projected))
+        if not self._use_index:
+            out: List[Tuple[str, Datagram]] = []
+            for sid, profile in self._entries.get(self.LOCAL, {}).items():
+                projected = profile.apply(datagram)
+                if projected is not None:
+                    out.append((sid, projected))
+            return out
+        compiled, __, __ = self._plan(self.LOCAL, datagram.stream)
+        if not compiled:
+            return []
+        payload = datagram.payload
+        out = []
+        for entry in compiled:
+            if not entry.covers(payload):
+                continue
+            if entry.wants_all:
+                out.append((entry.entry_id, datagram))
+            else:
+                out.append((entry.entry_id, datagram.project(entry.projection)))
         return out

@@ -133,15 +133,20 @@ class Catalog:
 
     def __init__(self, schemas: Iterable[StreamSchema] = ()) -> None:
         self._schemas: Dict[str, StreamSchema] = {}
+        #: Bumped on every mutation; caches derived from schema contents
+        #: (e.g. the CBN's per-stream width tables) key on it.
+        self.version = 0
         for schema in schemas:
             self.register(schema)
 
     def register(self, schema: StreamSchema) -> None:
         """Register (or replace) the schema of a stream."""
         self._schemas[schema.name] = schema
+        self.version += 1
 
     def unregister(self, name: str) -> None:
-        self._schemas.pop(name, None)
+        if self._schemas.pop(name, None) is not None:
+            self.version += 1
 
     def get(self, name: str) -> StreamSchema:
         try:

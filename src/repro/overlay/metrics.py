@@ -38,7 +38,12 @@ class LinkStats:
 
     def __init__(self, weights: Optional[Mapping[Edge, float]] = None) -> None:
         self._usage: Dict[Edge, LinkUsage] = {}
-        self._weights = dict(weights or {})
+        # Canonicalize the keys: ``record``/``add_weight`` store under
+        # edge_key, so a reversed (v, u) supplied here would otherwise
+        # never be found by weighted_cost() and silently cost 1.0.
+        self._weights = {
+            edge_key(*edge): weight for edge, weight in (weights or {}).items()
+        }
 
     def add_weight(self, edge: Edge, weight: float) -> None:
         """Register a link cost (kept if the edge already has one)."""
@@ -75,7 +80,7 @@ class LinkStats:
             mine = self._usage.setdefault(edge, LinkUsage())
             mine.add(usage.messages, usage.bytes)
         for edge, weight in other._weights.items():
-            self._weights.setdefault(edge, weight)
+            self._weights.setdefault(edge_key(*edge), weight)
 
     def reset(self) -> None:
         self._usage.clear()

@@ -86,6 +86,10 @@ class CosmosSystem:
         Run the static analyzer (schema + satisfiability families) on
         every submitted query and reject submissions with errors by
         raising :class:`SystemError_` before anything is installed.
+    fast_path:
+        Route publications through the CBN's indexed fast path
+        (default); ``False`` keeps the naive reference path for
+        equivalence checks and before/after measurements.
     """
 
     def __init__(
@@ -99,6 +103,7 @@ class CosmosSystem:
         use_subsumption: bool = False,
         per_source_trees: bool = False,
         static_check: bool = False,
+        fast_path: bool = True,
     ) -> None:
         if per_source_trees and topology is None:
             raise SystemError_("per_source_trees requires the topology")
@@ -110,7 +115,10 @@ class CosmosSystem:
         self.cost_model = cost_model or CostModel()
         self.merging = merging
         self.network = ContentBasedNetwork(
-            tree, self.catalog, use_subsumption=use_subsumption
+            tree,
+            self.catalog,
+            use_subsumption=use_subsumption,
+            fast_path=fast_path,
         )
         self.processors: Dict[NodeId, Processor] = {}
         for node in processor_nodes:
@@ -277,26 +285,32 @@ class CosmosSystem:
         node = self.source_node(stream)
         datagram = Datagram(stream, payload, timestamp)
         user_deliveries: List[Delivery] = []
-        pending: List[tuple] = [(datagram, node)]
+        # Each pending item is a batch of datagrams injected at one
+        # broker: the source tuple first, then whole result batches
+        # from each SPE evaluation, published via publish_many so the
+        # per-stream routing setup is paid once per batch.
+        pending: List[tuple] = [([datagram], node)]
         while pending:
-            current, origin = pending.pop(0)
-            for delivery in self.network.publish(current, origin):
-                sid = delivery.subscription_id
-                if sid.startswith("src:"):
-                    processor = self.processors.get(delivery.node)
-                    if processor is None:
-                        continue
-                    group_id = sid.split(":")[2]
-                    for result in processor.on_source_data(
-                        delivery.datagram, group_id
-                    ):
-                        pending.append((result, processor.node_id))
-                elif sid.startswith("user:"):
-                    query_id = sid.split(":", 2)[1]
-                    handle = self._queries.get(query_id)
-                    if handle is not None:
-                        handle.results.append(delivery.datagram)
-                    user_deliveries.append(delivery)
+            batch, origin = pending.pop(0)
+            for deliveries in self.network.publish_many(batch, origin):
+                for delivery in deliveries:
+                    sid = delivery.subscription_id
+                    if sid.startswith("src:"):
+                        processor = self.processors.get(delivery.node)
+                        if processor is None:
+                            continue
+                        group_id = sid.split(":")[2]
+                        results = processor.on_source_data(
+                            delivery.datagram, group_id
+                        )
+                        if results:
+                            pending.append((results, processor.node_id))
+                    elif sid.startswith("user:"):
+                        query_id = sid.split(":", 2)[1]
+                        handle = self._queries.get(query_id)
+                        if handle is not None:
+                            handle.results.append(delivery.datagram)
+                        user_deliveries.append(delivery)
         return user_deliveries
 
     def replay(self, feed: Sequence[Datagram]) -> int:

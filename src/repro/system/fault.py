@@ -107,6 +107,15 @@ def fail_processor(system: CosmosSystem, node: NodeId) -> List[str]:
     Returns the ids of the re-homed queries.  The failed node keeps
     routing (its data layer survives in this model; combine with
     :func:`fail_broker` for a full crash).
+
+    Re-homing preserves each query's accumulated results in
+    chronological order (results collected before the failure precede
+    any produced after it).  A query whose re-submission fails does not
+    abort the loop: its torn-down state is fully cleaned up, every
+    remaining orphan is still re-homed, and a :class:`FaultError`
+    naming the lost queries is raised at the end (chained to the first
+    underlying error), so the system is never left with queries whose
+    subscriptions were silently dropped.
     """
     processor = system.processors.pop(node, None)
     if processor is None:
@@ -125,6 +134,7 @@ def fail_processor(system: CosmosSystem, node: NodeId) -> List[str]:
 
     system.brokers[node] = Broker(node)
     rehomed: List[str] = []
+    failures: List[Tuple[str, Exception]] = []
     for query_id in orphaned:
         handle = system._queries.pop(query_id, None)
         if handle is None:
@@ -132,7 +142,24 @@ def fail_processor(system: CosmosSystem, node: NodeId) -> List[str]:
         sub_id = system._user_subscriptions.pop(query_id, None)
         if sub_id is not None:
             system.network.unsubscribe(sub_id)
-        new_handle = system.submit(handle.query, handle.user_node, name=query_id)
-        new_handle.results.extend(handle.results)
+        try:
+            new_handle = system.submit(
+                handle.query, handle.user_node, name=query_id
+            )
+        except Exception as exc:  # keep re-homing the remaining orphans
+            system._queries.pop(query_id, None)
+            leaked = system._user_subscriptions.pop(query_id, None)
+            if leaked is not None:
+                system.network.unsubscribe(leaked)
+            failures.append((query_id, exc))
+            continue
+        # Results collected before the failure come first; the fresh
+        # handle only accumulates results from here on.
+        new_handle.results[:0] = handle.results
         rehomed.append(query_id)
+    if failures:
+        lost = ", ".join(query_id for query_id, __ in failures)
+        raise FaultError(
+            f"queries [{lost}] could not be re-homed and were withdrawn"
+        ) from failures[0][1]
     return rehomed

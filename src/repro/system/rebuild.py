@@ -50,6 +50,7 @@ def rebuild_network(system: "CosmosSystem", tree: DisseminationTree) -> None:
         system.catalog,
         scope_to_advertisements=old_network.scope_to_advertisements,
         use_subsumption=old_network.use_subsumption,
+        fast_path=old_network.fast_path,
     )
     system.network.data_stats.merge(old_network.data_stats)
     system.network.control_stats.merge(old_network.control_stats)

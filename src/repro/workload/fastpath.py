@@ -1,0 +1,95 @@
+"""Matching-heavy CBN publish workload for the fast-path benchmarks.
+
+One deterministic generator shared by ``benchmarks/test_microbench.py``
+and ``tools/bench_publish.py`` so the pytest speedup gate and the CI
+``BENCH_publish.json`` artifact measure the *same* workload: many
+SensorScope streams, hundreds of filtered/projecting subscriptions
+spread over a sizeable tree, and a feed replayed from each stream's
+publisher.  This is the regime the per-stream routing index targets —
+the naive path scans every routing entry behind an interface while the
+indexed path only touches the datagram's own stream bucket.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cbn.datagram import Datagram
+from repro.cbn.filters import ALL_ATTRIBUTES, Filter, Profile
+from repro.cbn.network import ContentBasedNetwork
+from repro.cql.predicates import Comparison, Conjunction
+from repro.overlay.topology import barabasi_albert
+from repro.overlay.tree import DisseminationTree
+from repro.workload.sensorscope import sensorscope_catalog
+
+
+@dataclass
+class FastPathWorkload:
+    """A CBN primed with subscriptions plus the feed to publish."""
+
+    network: ContentBasedNetwork
+    #: ``(datagram, origin broker)`` pairs, publisher-correct per stream.
+    feed: List[Tuple[Datagram, int]]
+
+
+def build_fastpath_workload(
+    fast_path: bool,
+    n_streams: int = 24,
+    n_subscriptions: int = 1200,
+    n_nodes: int = 120,
+    n_datagrams: int = 200,
+    wants_all_fraction: float = 0.2,
+    filter_fraction: float = 0.7,
+    seed: int = 7,
+) -> FastPathWorkload:
+    """Build the matching-heavy workload with the fast path on or off.
+
+    Everything is seeded, so ``fast_path=True`` and ``fast_path=False``
+    produce networks with byte-for-byte identical routing state and an
+    identical feed — the only difference is the publish path taken.
+    """
+    rng = random.Random(seed)
+    catalog = sensorscope_catalog(n_streams, rng=random.Random(seed))
+    streams = catalog.stream_names[:n_streams]
+    topology = barabasi_albert(n_nodes, 2, rng)
+    tree = DisseminationTree.minimum_spanning(topology)
+    network = ContentBasedNetwork(tree, catalog.copy(), fast_path=fast_path)
+
+    setup = random.Random(seed + 1)
+    for stream in streams:
+        network.advertise(stream, setup.randrange(n_nodes), catalog.get(stream))
+    for index in range(n_subscriptions):
+        stream = setup.choice(streams)
+        attrs = [a.name for a in catalog.get(stream).attributes]
+        if setup.random() < wants_all_fraction:
+            projection = ALL_ATTRIBUTES
+        else:
+            width = setup.randint(1, min(3, len(attrs)))
+            projection = frozenset(setup.sample(attrs, k=width))
+        filters = []
+        if setup.random() < filter_fraction:
+            atom = Comparison(
+                setup.choice(attrs),
+                setup.choice(["<=", ">="]),
+                setup.randint(-5, 40),
+            )
+            filters.append(Filter(stream, Conjunction.from_atoms([atom])))
+        network.subscribe(
+            Profile({stream: projection}, filters),
+            setup.randrange(n_nodes),
+            f"u{index}",
+        )
+
+    data = random.Random(seed + 2)
+    feed: List[Tuple[Datagram, int]] = []
+    for index in range(n_datagrams):
+        stream = data.choice(streams)
+        payload = {
+            a.name: data.randint(-5, 40) for a in catalog.get(stream).attributes
+        }
+        feed.append(
+            (Datagram(stream, payload, float(index)), network.publishers_of(stream)[0])
+        )
+    return FastPathWorkload(network, feed)

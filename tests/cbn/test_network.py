@@ -206,3 +206,108 @@ class TestSubsumptionUnsubscribe:
         net.unsubscribe("u2")
         deliveries = net.publish(Datagram("S", {"a": 50, "b": 0.1}), 0)
         assert [d.subscription_id for d in deliveries] == ["u3"]
+
+
+class TestAdvertisementDedup:
+    def test_duplicate_advertisement_not_recorded(self, net):
+        net.advertise("S", 0, SCHEMA)
+        assert net.publishers_of("S") == [0]
+
+    def test_duplicate_advertisement_is_silent(self, net):
+        net.subscribe(Profile({"S": ALL_ATTRIBUTES}), 4, "u1")
+        state = net.routing_state_size()
+        epoch = net.routing_epoch
+        control = net.control_stats.total_bytes()
+        net.advertise("S", 0, SCHEMA)
+        assert net.routing_state_size() == state
+        assert net.routing_epoch == epoch
+        assert net.control_stats.total_bytes() == control
+
+    def test_duplicate_advertisement_does_not_duplicate_delivery(self, net):
+        net.subscribe(Profile({"S": ALL_ATTRIBUTES}), 4, "u1")
+        net.advertise("S", 0, SCHEMA)
+        deliveries = net.publish(Datagram("S", {"a": 1, "b": 0.5}), 0)
+        assert [d.subscription_id for d in deliveries] == ["u1"]
+
+    def test_same_stream_second_publisher_recorded(self, net):
+        net.advertise("S", 4, SCHEMA)
+        assert sorted(net.publishers_of("S")) == [0, 4]
+
+
+class TestFastPathCache:
+    def test_epoch_tracks_routing_mutations(self, net):
+        before = net.routing_epoch
+        sid = net.subscribe(Profile({"S": ALL_ATTRIBUTES}), 4)
+        after_subscribe = net.routing_epoch
+        assert after_subscribe > before
+        net.unsubscribe(sid)
+        assert net.routing_epoch > after_subscribe
+
+    def test_new_subscription_invalidates_cached_route(self, net):
+        net.subscribe(Profile({"S": {"a"}}), 4, "u1")
+        net.publish(Datagram("S", {"a": 1, "b": 0.5}), 0)  # warm the cache
+        net.subscribe(Profile({"S": {"b"}}), 2, "u2")
+        deliveries = net.publish(Datagram("S", {"a": 1, "b": 0.5}), 0)
+        assert sorted(d.subscription_id for d in deliveries) == ["u1", "u2"]
+
+    def test_unsubscribe_invalidates_cached_route(self, net):
+        net.subscribe(Profile({"S": ALL_ATTRIBUTES}), 4, "u1")
+        net.publish(Datagram("S", {"a": 1, "b": 0.5}), 0)  # warm the cache
+        net.unsubscribe("u1")
+        assert net.publish(Datagram("S", {"a": 1, "b": 0.5}), 0) == []
+
+    def test_schema_registration_bumps_catalog_version(self, net):
+        from repro.cql.schema import Attribute, StreamSchema
+
+        before = net.catalog.version
+        net.catalog.register(
+            StreamSchema("T", [Attribute("x", "int", 0, 1)], rate=1.0)
+        )
+        assert net.catalog.version > before
+
+    def test_naive_mode_still_available(self, line_tree):
+        network = ContentBasedNetwork(line_tree, fast_path=False)
+        network.advertise("S", 0, SCHEMA)
+        network.subscribe(Profile({"S": {"a"}}), 4, "u1")
+        deliveries = network.publish(Datagram("S", {"a": 1, "b": 0.5}), 0)
+        assert [d.subscription_id for d in deliveries] == ["u1"]
+        assert not network.fast_path
+
+
+class TestPublishMany:
+    def test_one_delivery_list_per_datagram(self, net):
+        net.subscribe(
+            Profile({"S": {"a"}}, [Filter("S", cond(Comparison("a", ">", 5)))]),
+            4,
+            "u1",
+        )
+        feed = [
+            Datagram("S", {"a": 1, "b": 0.1}, 0.0),
+            Datagram("S", {"a": 9, "b": 0.2}, 1.0),
+            Datagram("S", {"a": 7, "b": 0.3}, 2.0),
+        ]
+        batches = net.publish_many(feed, 0)
+        assert [len(b) for b in batches] == [0, 1, 1]
+
+    def test_matches_publish_loop(self, line_tree):
+        def build():
+            network = ContentBasedNetwork(line_tree)
+            network.advertise("S", 0, SCHEMA)
+            network.subscribe(Profile({"S": {"a"}}), 4, "u1")
+            network.subscribe(Profile({"S": ALL_ATTRIBUTES}), 2, "u2")
+            return network
+
+        feed = [Datagram("S", {"a": i, "b": 0.5}, float(i)) for i in range(4)]
+        batched_net, looped_net = build(), build()
+        batched = batched_net.publish_many(feed, 0)
+        looped = [looped_net.publish(datagram, 0) for datagram in feed]
+        assert [
+            [(d.subscription_id, d.node, d.datagram) for d in per] for per in batched
+        ] == [
+            [(d.subscription_id, d.node, d.datagram) for d in per] for per in looped
+        ]
+        assert batched_net.data_stats.as_dict() == looped_net.data_stats.as_dict()
+
+    def test_unknown_broker_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.publish_many([Datagram("S", {"a": 1, "b": 0.1})], 99)

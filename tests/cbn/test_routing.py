@@ -121,3 +121,98 @@ class TestLocalDeliveries:
         table = RoutingTable(0)
         table.install(RoutingTable.LOCAL, "u1", profile({"a"}, Comparison("a", ">", 5)))
         assert table.local_deliveries(Datagram("S", {"a": 1})) == []
+
+
+class TestStreamIndex:
+    def test_entries_bucketed_by_stream(self):
+        table = RoutingTable(0)
+        table.install(1, "s1", profile({"a"}, stream="S"))
+        table.install(1, "s2", profile({"b"}, stream="T"))
+        assert set(table.stream_entries(1, "S")) == {"s1"}
+        assert set(table.stream_entries(1, "T")) == {"s2"}
+        assert table.has_stream_entries(1, "S")
+        assert not table.has_stream_entries(1, "U")
+
+    def test_stream_interfaces(self):
+        table = RoutingTable(0)
+        table.install(1, "s1", profile({"a"}, stream="S"))
+        table.install(2, "s2", profile({"a"}, stream="S"))
+        table.install(3, "s3", profile({"a"}, stream="T"))
+        assert sorted(table.stream_interfaces("S")) == [1, 2]
+        assert table.stream_interfaces("T") == [3]
+
+    def test_remove_clears_index(self):
+        table = RoutingTable(0)
+        table.install(1, "s1", profile({"a"}, stream="S"))
+        table.remove("s1")
+        assert not table.has_stream_entries(1, "S")
+        assert table.stream_interfaces("S") == []
+
+    def test_remove_interface_clears_index(self):
+        table = RoutingTable(0)
+        table.install(1, "s1", profile({"a"}, stream="S"))
+        table.remove_interface(1)
+        assert not table.has_stream_entries(1, "S")
+
+    def test_overwrite_reindexes_new_streams(self):
+        table = RoutingTable(0)
+        table.install(1, "s1", profile({"a"}, stream="S"))
+        table.install(1, "s1", profile({"a"}, stream="T"))
+        assert not table.has_stream_entries(1, "S")
+        assert table.has_stream_entries(1, "T")
+
+    def test_decide_matches_unindexed_table(self):
+        datagrams = [
+            Datagram("S", {"a": 1, "b": 2}),
+            Datagram("S", {"a": 9, "b": 0}),
+            Datagram("T", {"a": 1, "b": 2}),
+        ]
+        profiles = [
+            ("s1", profile({"a"}, Comparison("a", ">", 0))),
+            ("s2", profile(ALL_ATTRIBUTES, stream="T")),
+            ("s3", profile({"b"}, Comparison("b", ">=", 2))),
+        ]
+        indexed = RoutingTable(0, use_index=True)
+        plain = RoutingTable(0, use_index=False)
+        for sid, prof in profiles:
+            indexed.install(1, sid, prof)
+            plain.install(1, sid, prof)
+        for datagram in datagrams:
+            a = indexed.decide(1, datagram)
+            b = plain.decide(1, datagram)
+            assert (a.forward, a.attributes) == (b.forward, b.attributes)
+
+
+class TestEpoch:
+    def test_install_bumps_epoch(self):
+        table = RoutingTable(0)
+        before = table.epoch
+        table.install(1, "s1", profile({"a"}))
+        assert table.epoch == before + 1
+
+    def test_noop_remove_keeps_epoch(self):
+        table = RoutingTable(0)
+        table.install(1, "s1", profile({"a"}))
+        before = table.epoch
+        table.remove("missing")
+        assert table.epoch == before
+
+    def test_remove_missing_interface_keeps_epoch(self):
+        table = RoutingTable(0)
+        before = table.epoch
+        table.remove_interface(9)
+        assert table.epoch == before
+
+    def test_on_change_called_per_mutation(self):
+        calls = []
+        table = RoutingTable(0, on_change=lambda: calls.append(1))
+        table.install(1, "s1", profile({"a"}))
+        table.remove("s1")
+        assert len(calls) == 2
+
+    def test_suppressed_install_keeps_epoch(self):
+        table = RoutingTable(0, use_subsumption=True)
+        table.install(1, "broad", profile({"a"}, Comparison("a", ">", 0)))
+        before = table.epoch
+        assert not table.install(1, "narrow", profile({"a"}, Comparison("a", ">", 5)))
+        assert table.epoch == before

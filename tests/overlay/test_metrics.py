@@ -50,3 +50,26 @@ class TestLinkStats:
         stats = LinkStats()
         stats.record(0, 1, 10.0)
         assert stats.as_dict() == {(0, 1): (1, 10.0)}
+
+
+class TestWeightKeyCanonicalization:
+    def test_reversed_init_keys_priced_correctly(self):
+        # Weights supplied as (v, u) must still be found by
+        # weighted_cost(), which looks up canonical edge keys.
+        stats = LinkStats({(1, 0): 2.0})
+        stats.record(0, 1, 10.0)
+        assert stats.weighted_cost() == 20.0
+
+    def test_merge_canonicalizes_reversed_keys(self):
+        a = LinkStats()
+        b = LinkStats({(3, 2): 4.0})
+        a.merge(b)
+        a.record(2, 3, 5.0)
+        assert a.weighted_cost() == 20.0
+
+    def test_existing_weight_wins_on_merge(self):
+        a = LinkStats({(0, 1): 2.0})
+        b = LinkStats({(1, 0): 9.0})
+        a.merge(b)
+        a.record(0, 1, 1.0)
+        assert a.weighted_cost() == 2.0

@@ -158,3 +158,41 @@ class TestProcessorFailure:
         system, __, __ = running_system
         with pytest.raises(FaultError):
             fail_processor(system, 7)
+
+
+class TestRehomingStateCarryOver:
+    def test_results_preserved_in_chronological_order(self, running_system):
+        system, h1, __ = running_system
+        publish_pair(system, 1, 0.0, 3600.0)
+        pre_failure = list(h1.results)
+        assert pre_failure  # the fixture queries do match this pair
+        fail_processor(system, h1.processor_node)
+        new_h1 = system.query("q1")
+        assert new_h1.results == pre_failure
+        publish_pair(system, 2, 7200.0, 7200.0 + 3600.0)
+        # Old results come first; new results are appended after them.
+        assert new_h1.results[: len(pre_failure)] == pre_failure
+        assert new_h1.result_count == len(pre_failure) + 1
+
+    def test_submit_failure_does_not_abort_rehoming(self, running_system, monkeypatch):
+        system, h1, h2 = running_system
+        victim = h1.processor_node
+        original = CosmosSystem.submit
+
+        def flaky(self, query, user_node, name=None):
+            if name == "q1":
+                raise RuntimeError("injected submit failure")
+            return original(self, query, user_node, name=name)
+
+        monkeypatch.setattr(CosmosSystem, "submit", flaky)
+        with pytest.raises(FaultError, match="q1"):
+            fail_processor(system, victim)
+        # q2 was still re-homed despite q1's failure...
+        assert system.query("q2").processor_node != victim
+        # ...and q1 left no dangling state behind.
+        with pytest.raises(Exception):
+            system.query("q1")
+        assert "q1" not in system._user_subscriptions
+        # The system still works end to end for the survivor.
+        publish_pair(system, 3, 0.0, 1800.0)
+        assert system.query("q2").result_count >= 1

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI benchmark smoke: CBN publish throughput, indexed vs naive.
+
+Runs the shared matching-heavy workload
+(:func:`repro.workload.fastpath.build_fastpath_workload`) once with the
+per-stream routing index + decision cache and once with the naive
+pre-index scan, checks the two paths produce byte-identical deliveries
+and per-link traffic, and writes ``BENCH_publish.json`` at the repo
+root::
+
+    {
+      "workload": {...},
+      "before": {"datagrams_per_sec": ..., "seconds": ...},
+      "after":  {"datagrams_per_sec": ..., "seconds": ...},
+      "speedup": ...,
+      "equivalent": true
+    }
+
+Scale is kept small enough for an offline CI smoke step (a couple of
+seconds); the pytest benchmark ``test_cbn_fastpath_speedup`` is the
+authoritative >=3x gate at full scale.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.workload.fastpath import build_fastpath_workload  # noqa: E402
+
+WORKLOAD = dict(
+    n_streams=24,
+    n_subscriptions=1200,
+    n_nodes=120,
+    n_datagrams=100,
+)
+REPS = 3
+
+
+def warm(workload):
+    deliveries = [
+        workload.network.publish(datagram, origin)
+        for datagram, origin in workload.feed
+    ]
+    return [
+        [(d.subscription_id, d.node, d.datagram) for d in per_datagram]
+        for per_datagram in deliveries
+    ]
+
+
+def timed(workload):
+    start = time.perf_counter()
+    for datagram, origin in workload.feed:
+        workload.network.publish(datagram, origin)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    fast = build_fastpath_workload(fast_path=True, **WORKLOAD)
+    slow = build_fastpath_workload(fast_path=False, **WORKLOAD)
+    fast_out = warm(fast)
+    slow_out = warm(slow)
+    # Interleave the timed reps so both paths sample the same machine
+    # conditions; keep the best rep of each.
+    fast_time = slow_time = float("inf")
+    for __ in range(REPS):
+        fast_time = min(fast_time, timed(fast))
+        slow_time = min(slow_time, timed(slow))
+    equivalent = (
+        fast_out == slow_out
+        and fast.network.data_stats.as_dict() == slow.network.data_stats.as_dict()
+    )
+    n = WORKLOAD["n_datagrams"]
+    result = {
+        "workload": dict(WORKLOAD, reps=REPS),
+        "before": {
+            "datagrams_per_sec": round(n / slow_time, 1),
+            "seconds": round(slow_time, 4),
+        },
+        "after": {
+            "datagrams_per_sec": round(n / fast_time, 1),
+            "seconds": round(fast_time, 4),
+        },
+        "speedup": round(slow_time / fast_time, 2),
+        "equivalent": equivalent,
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_publish.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    if not equivalent:
+        print("FAIL: fast path deliveries/stats differ from the naive path")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

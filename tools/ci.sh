@@ -13,4 +13,7 @@ PYTHONPATH=src python -m repro check
 echo "== tier-1 tests =="
 PYTHONPATH=src:. python -m pytest -x -q
 
+echo "== bench smoke (publish fast path) =="
+python tools/bench_publish.py
+
 echo "== ci: all gates passed =="
