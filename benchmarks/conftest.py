@@ -24,6 +24,18 @@ def full_scale() -> bool:
     return bool(os.environ.get("REPRO_FULL_SCALE"))
 
 
+@pytest.fixture
+def mst_builder():
+    """The shared topology/tree builder (``tests/conftest.py``).
+
+    Benchmarks used to grow their own ``barabasi_albert`` + MST
+    boilerplate; the canonical builder now lives in one place.
+    """
+    from tests.conftest import build_mst
+
+    return build_mst
+
+
 @pytest.fixture(scope="session")
 def report():
     """Callable: report(name, text) — print and archive a report."""

@@ -8,6 +8,7 @@
     python -m repro fig4  [--full]         # the Figure 4 sweep only
     python -m repro demo                   # the quickstart scenario + monitor
     python -m repro check [--workload W] [--strict]   # static analysis
+    python -m repro chaos [--seed N | --seeds N] [--trace] [--json PATH]
 """
 
 from __future__ import annotations
@@ -56,6 +57,41 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat warnings as failures (exit 1)",
     )
+
+    ch = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection simulation checked by delivery oracles",
+    )
+    ch.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="replay exactly one seed (prints its full event trace)",
+    )
+    ch.add_argument(
+        "--seeds",
+        type=int,
+        default=10,
+        help="sweep seeds 0..N-1 (default 10; ignored with --seed)",
+    )
+    ch.add_argument(
+        "--faults", type=int, default=2, help="crash events per run (default 2)"
+    )
+    ch.add_argument(
+        "--trace", action="store_true", help="print every run's event trace"
+    )
+    ch.add_argument(
+        "--no-shrink",
+        dest="shrink",
+        action="store_false",
+        help="on failure, skip shrinking to a minimal schedule",
+    )
+    ch.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write run counters as JSON (the CI bench artifact)",
+    )
     return parser
 
 
@@ -92,6 +128,72 @@ def _cmd_check(workload: str, strict: bool) -> int:
     if rendered:
         print(rendered)
     return combined.exit_code(strict)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """The ``repro chaos`` subcommand.
+
+    ``--seed N`` replays one seed deterministically (the trace printed
+    is byte-identical on every invocation — compare digests to confirm
+    a replay); the default sweep runs seeds ``0..N-1`` as a smoke gate.
+    On a violation the failing schedule is shrunk to a minimal event
+    list (``--no-shrink`` to skip) and the exit code is 1.
+    """
+    import json
+
+    from repro.sim import ChaosConfig, generate_schedule, run_schedule
+
+    seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    records = []
+    failed = False
+    for seed in seeds:
+        config = ChaosConfig(seed=seed, n_faults=args.faults)
+        schedule = generate_schedule(config)
+        report = run_schedule(config, schedule.events)
+        print(report.render())
+        if args.trace or args.seed is not None:
+            print(report.trace.render())
+        if not report.ok:
+            failed = True
+            if args.shrink:
+                from repro.sim import shrink_failing_schedule
+
+                minimal = shrink_failing_schedule(config, schedule.events)
+                print(
+                    f"minimal failing schedule "
+                    f"({len(minimal)}/{len(schedule.events)} events):"
+                )
+                for event in minimal:
+                    print(f"  {event.render()}")
+        counters = report.counters.as_dict()
+        records.append(
+            {
+                "seed": seed,
+                "ok": report.ok,
+                "trace_digest": report.trace.digest(),
+                "violations": report.violations,
+                **counters,
+            }
+        )
+    totals = {
+        "deliveries_checked": sum(r["deliveries"] for r in records),
+        "faults_injected": sum(r["faults_applied"] for r in records),
+        "faults_refused": sum(r["faults_refused"] for r in records),
+        "tuples_injected": sum(r["injects"] for r in records),
+        "tuples_dropped": sum(r["drops"] for r in records),
+        "violations": sum(len(r["violations"]) for r in records),
+    }
+    print(
+        "chaos totals: "
+        + " ".join(f"{key}={value}" for key, value in totals.items())
+    )
+    if args.json:
+        payload = {"seeds": records, "totals": totals, "ok": not failed}
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
 
 
 def _cmd_demo() -> int:
@@ -154,6 +256,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_demo()
     if args.command == "check":
         return _cmd_check(args.workload, args.strict)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return 2
 
 

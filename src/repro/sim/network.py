@@ -1,0 +1,153 @@
+"""The virtual network: chaos schedules executed against twin systems.
+
+:class:`VirtualNetwork` wraps a pair of :class:`CosmosSystem` twins —
+one routing through the CBN's indexed fast path, one through the naive
+reference scan — and drives both through the *same* resolved chaos
+schedule via the :class:`~repro.system.events.EventSimulator`'s
+``step()`` API.  Tuple injections go end to end through
+``CosmosSystem.publish``; crash events route through the real
+fault-tolerance entry points (``fail_broker`` / ``fail_processor``),
+so the chaos harness exercises exactly the repair code production
+would run, never a simulation-only shortcut.
+
+A crash whose repair finds the survivors physically partitioned is
+*refused* (``FaultError``) and recorded as such — a legitimate outcome,
+not a violation.  The twins share one topology and tree, so a refusal
+in one twin must occur in the other; divergence there is itself a bug
+and raises immediately.
+
+Every executed event appends one canonical line to the run's
+:class:`~repro.sim.trace.ChaosTrace` (payloads pre-sorted by the
+schedule layer, counters instead of delivery lists), which is what
+makes replays byte-identical across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.cbn.datagram import Datagram
+from repro.sim.schedule import ChaosEvent, DropEvent, FaultEvent, InjectEvent
+from repro.sim.trace import ChaosTrace
+from repro.system.cosmos import CosmosSystem
+from repro.system.events import EventSimulator
+from repro.system.fault import FaultError, fail_broker, fail_processor
+
+
+class ChaosExecutionError(Exception):
+    """Raised when the twins diverge structurally mid-run (a harness bug
+    or a nondeterministic repair path — either way, not a normal oracle
+    violation)."""
+
+
+@dataclass
+class ChaosCounters:
+    """What a run did, for CI gates and BENCH output."""
+
+    injects: int = 0
+    duplicates: int = 0
+    drops: int = 0
+    faults_applied: int = 0
+    faults_refused: int = 0
+    deliveries: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "injects": self.injects,
+            "duplicates": self.duplicates,
+            "drops": self.drops,
+            "faults_applied": self.faults_applied,
+            "faults_refused": self.faults_refused,
+            "deliveries": self.deliveries,
+        }
+
+
+@dataclass
+class VirtualNetwork:
+    """Twin COSMOS systems driven by one chaos schedule.
+
+    ``build`` provisions one complete system (topology, tree, sources,
+    queries) and must be deterministic in everything except the
+    ``fast_path`` flag it receives — the twins *must* be structurally
+    identical for the fast-vs-naive oracle to be meaningful.
+    """
+
+    build: Callable[..., CosmosSystem]
+    check_fast_path: bool = True
+    primary: CosmosSystem = field(init=False)
+    shadow: Optional[CosmosSystem] = field(init=False)
+    trace: ChaosTrace = field(init=False, default_factory=ChaosTrace)
+    counters: ChaosCounters = field(init=False, default_factory=ChaosCounters)
+    #: The tuples that actually entered the system (post-perturbation,
+    #: duplicates included), in injection order — the oracle's input.
+    effective_feed: List[Datagram] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.primary = self.build(fast_path=True)
+        self.shadow = self.build(fast_path=False) if self.check_fast_path else None
+
+    @property
+    def systems(self) -> List[CosmosSystem]:
+        return [self.primary] + ([self.shadow] if self.shadow else [])
+
+    def routing_epoch(self) -> int:
+        return self.primary.network.routing_epoch
+
+    def execute(self, events: Sequence[ChaosEvent]) -> ChaosCounters:
+        """Run ``events`` through the simulator in global time order."""
+        sim = EventSimulator()
+        for event in events:
+            sim.schedule(event.time, lambda e=event: self._apply(e))
+        while sim.step() is not None:
+            pass
+        return self.counters
+
+    # -- event application -------------------------------------------------------
+
+    def _apply(self, event: ChaosEvent) -> None:
+        if isinstance(event, InjectEvent):
+            self._apply_inject(event)
+        elif isinstance(event, DropEvent):
+            self.counters.drops += 1
+            self.trace.record(event.render())
+        elif isinstance(event, FaultEvent):
+            self._apply_fault(event)
+        else:  # pragma: no cover - schedule layer only emits the above
+            raise ChaosExecutionError(f"unknown chaos event {event!r}")
+
+    def _apply_inject(self, event: InjectEvent) -> None:
+        payload = dict(event.payload)
+        delivered = len(self.primary.publish(event.stream, payload, event.time))
+        if self.shadow is not None:
+            self.shadow.publish(event.stream, dict(event.payload), event.time)
+        self.effective_feed.append(
+            Datagram(event.stream, payload, event.time)
+        )
+        self.counters.injects += 1
+        if event.duplicate:
+            self.counters.duplicates += 1
+        self.counters.deliveries += delivered
+        self.trace.record(f"{event.render()} -> {delivered} deliveries")
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        outcomes = []
+        for system in self.systems:
+            try:
+                if event.kind == "broker":
+                    fail_broker(system, event.node)
+                else:
+                    fail_processor(system, event.node)
+                outcomes.append("applied")
+            except FaultError as exc:
+                outcomes.append(f"refused ({exc})")
+        if len(set(outcomes)) > 1:
+            raise ChaosExecutionError(
+                f"twins diverged on {event.render()}: {outcomes}"
+            )
+        outcome = outcomes[0]
+        if outcome == "applied":
+            self.counters.faults_applied += 1
+        else:
+            self.counters.faults_refused += 1
+        self.trace.record(f"{event.render()} -> {outcome}")

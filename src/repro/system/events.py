@@ -43,8 +43,31 @@ class EventSimulator:
     def schedule_in(self, delay: float, action: Callable[[], None]) -> None:
         self.schedule(self._now + delay, action)
 
+    def step(self) -> Optional[float]:
+        """Process exactly one event; returns its time (``None`` if idle).
+
+        The clock advances to the fired event's time.  This is the
+        single-event API the chaos replayer uses to interleave its own
+        bookkeeping (trace records, oracle snapshots) between events
+        without giving up the simulator's global time ordering.
+        """
+        if not self._queue:
+            return None
+        time, __, action = heapq.heappop(self._queue)
+        self._now = time
+        action()
+        return time
+
     def run(self, until: Optional[float] = None) -> int:
-        """Process events (up to ``until``, inclusive); returns the count."""
+        """Process events (up to ``until``, inclusive); returns the count.
+
+        Clock semantics: after the call, ``now`` is the time of the last
+        processed event — except that when ``until`` is given and lies
+        *ahead* of that time, the clock advances to ``until`` even if no
+        event fired there (simulated time passed idly).  An ``until`` in
+        the past (``until < now``) processes nothing that would rewind
+        the clock and leaves ``now`` unchanged: the clock is monotone.
+        """
         processed = 0
         while self._queue:
             time, __, action = self._queue[0]

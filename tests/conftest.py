@@ -1,4 +1,12 @@
-"""Shared fixtures: catalogs, small overlays, the Table 1 queries."""
+"""Shared fixtures: catalogs, small overlays, the Table 1 queries.
+
+Besides pytest fixtures this module hosts the plain builder functions
+(:func:`build_mst`, :func:`build_auction_system`) that used to be
+duplicated across ``tests/system/``, the property suites and the
+benchmarks.  Property tests (Hypothesis cannot use function-scoped
+fixtures) and ``benchmarks/conftest.py`` import them directly as
+``from tests.conftest import build_mst``.
+"""
 
 import random
 
@@ -8,6 +16,7 @@ from repro.cql.parser import parse_query
 from repro.cql.schema import Attribute, Catalog, StreamSchema
 from repro.overlay.topology import Topology, barabasi_albert
 from repro.overlay.tree import DisseminationTree
+from repro.system.cosmos import CosmosSystem
 from repro.workload.auction import (
     CLOSED_AUCTION_SCHEMA,
     OPEN_AUCTION_SCHEMA,
@@ -15,6 +24,51 @@ from repro.workload.auction import (
     TABLE1_Q2,
     TABLE1_Q3,
 )
+
+
+# -- shared builders ----------------------------------------------------------
+
+
+def build_mst(n_nodes, seed, m=2):
+    """A seeded Barabási–Albert topology and its MST dissemination tree."""
+    topology = barabasi_albert(n_nodes, m, random.Random(seed))
+    return topology, DisseminationTree.minimum_spanning(topology)
+
+
+def build_auction_system(
+    n_nodes=20,
+    seed=9,
+    processor_nodes=(0, 1),
+    source_node=2,
+    user_nodes=(3, 4),
+):
+    """A running auction system: two sources, the Table 1 q1/q2 pair.
+
+    Returns ``(system, h1, h2)``.  Nodes ``processor_nodes + source_node
+    + user_nodes`` are the protected set a fault schedule must not
+    target with broker failures.
+    """
+    topology, tree = build_mst(n_nodes, seed)
+    system = CosmosSystem(
+        tree, processor_nodes=list(processor_nodes), topology=topology
+    )
+    system.add_source(OPEN_AUCTION_SCHEMA, source_node)
+    system.add_source(CLOSED_AUCTION_SCHEMA, source_node)
+    h1 = system.submit(TABLE1_Q1, user_node=user_nodes[0], name="q1")
+    h2 = system.submit(TABLE1_Q2, user_node=user_nodes[1], name="q2")
+    return system, h1, h2
+
+
+@pytest.fixture
+def mst_builder():
+    """Factory fixture: ``mst_builder(n, seed) -> (topology, tree)``."""
+    return build_mst
+
+
+@pytest.fixture
+def auction_system_builder():
+    """Factory fixture for :func:`build_auction_system`."""
+    return build_auction_system
 
 
 @pytest.fixture

@@ -10,7 +10,8 @@ from repro.cql.schema import Attribute, StreamSchema
 from repro.overlay.topology import barabasi_albert
 from repro.overlay.tree import DisseminationTree
 from repro.system.cosmos import CosmosSystem
-from repro.system.fault import FaultError, fail_broker
+from repro.system.fault import FaultError, fail_broker, repair_tree
+from tests.conftest import build_mst
 
 SCHEMA = StreamSchema(
     "Temp",
@@ -20,6 +21,56 @@ SCHEMA = StreamSchema(
 
 #: Nodes with attached roles that must never be failed.
 PROTECTED = {0, 1, 2, 3}
+
+
+def _assert_spanning_tree(tree, expected_nodes):
+    """``tree`` is connected, acyclic, and spans exactly ``expected_nodes``.
+
+    A tree on n nodes has exactly n-1 edges; with connectivity that
+    also rules out cycles.  Connectivity is checked constructively:
+    every node is reachable from the first one along tree paths.
+    """
+    nodes = sorted(tree.nodes)
+    assert nodes == sorted(expected_nodes)
+    assert len(tree.edges) == len(nodes) - 1
+    root = nodes[0]
+    for node in nodes[1:]:
+        path = tree.path(root, node)
+        assert path[0] == root and path[-1] == node
+
+
+class TestRepairTreeProperties:
+    """Random topology x random single/double broker failure: the
+    repaired tree is connected, acyclic, and spans all survivors."""
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=10, max_value=40),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_repair_spans_survivors(self, seed, n_nodes, data):
+        topo, tree = build_mst(n_nodes, seed)
+        survivors = set(tree.nodes)
+        failures = data.draw(st.integers(min_value=1, max_value=2), label="failures")
+        for round_index in range(failures):
+            victim = data.draw(
+                st.sampled_from(sorted(survivors)), label=f"victim{round_index}"
+            )
+            try:
+                repaired = repair_tree(tree, topo, victim)
+            except FaultError:
+                # Survivors physically partitioned (or last node): the
+                # refusal must leave the input tree untouched.
+                _assert_spanning_tree(tree, survivors)
+                continue
+            survivors.discard(victim)
+            _assert_spanning_tree(repaired, survivors)
+            # The failed node's physical links are never reused.
+            assert all(victim not in edge for edge in repaired.edges)
+            # Every repair edge is a real physical link of the topology.
+            assert all(edge in topo.weights for edge in repaired.edges)
+            tree = repaired
 
 
 def _build(seed):

@@ -1,0 +1,1 @@
+"""Unit tests for the chaos simulation harness (:mod:`repro.sim`)."""

@@ -68,17 +68,10 @@ class TestRepairTree:
 
 
 @pytest.fixture
-def running_system():
-    rng = random.Random(9)
-    topo = barabasi_albert(20, 2, rng)
-    tree = DisseminationTree.minimum_spanning(topo)
-    # Pick processor nodes that stay alive.
-    system = CosmosSystem(tree, processor_nodes=[0, 1], topology=topo)
-    system.add_source(OPEN_AUCTION_SCHEMA, 2)
-    system.add_source(CLOSED_AUCTION_SCHEMA, 2)
-    h1 = system.submit(TABLE1_Q1, user_node=3, name="q1")
-    h2 = system.submit(TABLE1_Q2, user_node=4, name="q2")
-    return system, h1, h2
+def running_system(auction_system_builder):
+    # The shared builder: 20 nodes, processors {0, 1}, sources at 2,
+    # users at 3 and 4 (so nodes 0-4 must never be failed as brokers).
+    return auction_system_builder()
 
 
 def publish_pair(system, item, open_ts, close_ts):
@@ -196,3 +189,88 @@ class TestRehomingStateCarryOver:
         # The system still works end to end for the survivor.
         publish_pair(system, 3, 0.0, 1800.0)
         assert system.query("q2").result_count >= 1
+
+
+class TestPublishManyUnderFailure:
+    """Batched and per-datagram publication stay identical while the
+    tree is repeatedly repaired around failed brokers.
+
+    The fast-path property suite only exercises fault-free
+    interleavings; this regression drives twin systems through the same
+    ``fail_broker`` sequence, publishing each round's feed per-datagram
+    in one and via ``publish_many`` in the other.
+    """
+
+    @staticmethod
+    def _snapshot(deliveries):
+        return [(d.subscription_id, d.node, d.datagram) for d in deliveries]
+
+    @staticmethod
+    def _round_feed(round_index):
+        from repro.cbn.datagram import Datagram
+
+        base = 7200.0 * round_index
+        out = []
+        for item in range(3):
+            out.append(
+                Datagram(
+                    "OpenAuction",
+                    {
+                        "itemID": round_index * 10 + item,
+                        "sellerID": 1,
+                        "start_price": 1.0,
+                        "timestamp": base + item,
+                    },
+                    base + item,
+                )
+            )
+            out.append(
+                Datagram(
+                    "ClosedAuction",
+                    {
+                        "itemID": round_index * 10 + item,
+                        "buyerID": 2,
+                        "timestamp": base + 1800.0 + item,
+                    },
+                    base + 1800.0 + item,
+                )
+            )
+        return out
+
+    def test_batched_equals_per_datagram_across_failures(
+        self, auction_system_builder
+    ):
+        system_a, *_ = auction_system_builder()
+        system_b, *_ = auction_system_builder()
+        protected = {0, 1, 2, 3, 4}
+        failed = set()
+        for round_index in range(4):
+            feed = self._round_feed(round_index)
+            per_datagram = [system_a.network.publish(d, 2) for d in feed]
+            batched = system_b.network.publish_many(feed, 2)
+            assert [self._snapshot(per) for per in per_datagram] == [
+                self._snapshot(per) for per in batched
+            ]
+            assert (
+                system_a.network.data_stats.as_dict()
+                == system_b.network.data_stats.as_dict()
+            )
+            assert (
+                system_a.network.routing_state_size()
+                == system_b.network.routing_state_size()
+            )
+            if round_index == 3:
+                break
+            # Fail the same (still-alive, unprotected) broker in both.
+            for victim in system_a.tree.nodes:
+                if victim in protected or victim in failed:
+                    continue
+                try:
+                    fail_broker(system_a, victim)
+                except FaultError:
+                    continue  # physically partitioned: try the next one
+                fail_broker(system_b, victim)
+                failed.add(victim)
+                break
+            else:
+                pytest.fail("no repairable victim left")

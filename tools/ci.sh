@@ -16,4 +16,7 @@ PYTHONPATH=src:. python -m pytest -x -q
 echo "== bench smoke (publish fast path) =="
 python tools/bench_publish.py
 
+echo "== chaos smoke (seeded fault injection) =="
+PYTHONPATH=src python -m repro chaos --seeds 25 --json BENCH_chaos.json
+
 echo "== ci: all gates passed =="
