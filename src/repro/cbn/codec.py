@@ -12,6 +12,10 @@ Format (all integers big-endian):
   string);
 * datagram: magic ``CD``, stream, ``f64`` timestamp, ``u16`` attribute
   count, then (name, value) pairs;
+* sequenced datagram (reliable-uplink transport): magic ``CS``, stream,
+  ``f64`` timestamp, ``i64`` sequence number, then the same attribute
+  section — a datagram without a sequence number keeps the exact ``CD``
+  encoding, so pre-reliability buffers stay valid;
 * interval: flags byte (lo present / hi present / lo strict / hi
   strict) + present bounds as values;
 * conjunction: four sections (intervals, exclusions, links, diffs),
@@ -31,6 +35,7 @@ from repro.cbn.filters import ALL_ATTRIBUTES, Filter, Profile
 from repro.cql.predicates import Conjunction, Interval
 
 _DATAGRAM_MAGIC = b"CD"
+_SEQUENCED_MAGIC = b"CS"
 _PROFILE_MAGIC = b"CP"
 
 
@@ -91,13 +96,21 @@ def _unpack_value(buffer: bytes, offset: int) -> Tuple[Value, int]:
 
 
 def encode_datagram(datagram: Datagram) -> bytes:
-    """Serialise a datagram to its wire representation."""
+    """Serialise a datagram to its wire representation.
+
+    A datagram carrying a transport sequence number uses the ``CS``
+    variant (the ``i64`` seq follows the timestamp); without one the
+    encoding is byte-for-byte the pre-reliability ``CD`` format.
+    """
+    sequenced = datagram.seq is not None
     parts = [
-        _DATAGRAM_MAGIC,
+        _SEQUENCED_MAGIC if sequenced else _DATAGRAM_MAGIC,
         _pack_string(datagram.stream),
         struct.pack(">d", datagram.timestamp),
-        struct.pack(">H", len(datagram.payload)),
     ]
+    if sequenced:
+        parts.append(struct.pack(">q", datagram.seq))
+    parts.append(struct.pack(">H", len(datagram.payload)))
     for name in sorted(datagram.payload):
         parts.append(_pack_string(name))
         parts.append(_pack_value(datagram.payload[name]))
@@ -105,12 +118,17 @@ def encode_datagram(datagram: Datagram) -> bytes:
 
 
 def decode_datagram(buffer: bytes) -> Datagram:
-    if buffer[:2] != _DATAGRAM_MAGIC:
+    magic = buffer[:2]
+    if magic not in (_DATAGRAM_MAGIC, _SEQUENCED_MAGIC):
         raise CodecError("not a datagram buffer")
     offset = 2
     stream, offset = _unpack_string(buffer, offset)
     (timestamp,) = struct.unpack_from(">d", buffer, offset)
     offset += 8
+    seq = None
+    if magic == _SEQUENCED_MAGIC:
+        (seq,) = struct.unpack_from(">q", buffer, offset)
+        offset += 8
     (count,) = struct.unpack_from(">H", buffer, offset)
     offset += 2
     payload: Dict[str, Value] = {}
@@ -118,7 +136,7 @@ def decode_datagram(buffer: bytes) -> Datagram:
         name, offset = _unpack_string(buffer, offset)
         value, offset = _unpack_value(buffer, offset)
         payload[name] = value
-    return Datagram(stream, payload, timestamp)
+    return Datagram(stream, payload, timestamp, seq)
 
 
 # ---------------------------------------------------------------------------

@@ -5,6 +5,12 @@ datagrams additionally carry the unique name of the stream they belong
 to (section 3: "we have to first enhance the CBN to be aware of
 streaming relations") and a timestamp drawn from the application time
 domain T (section 4, Definition 1).
+
+Datagrams travelling a *reliable sequenced uplink*
+(:mod:`repro.system.reliability`) additionally carry a per-(stream,
+source) monotone sequence number in ``seq``; it is transport metadata
+(gap detection, duplicate suppression), preserved through projection
+and relabelling, and ``None`` everywhere reliability is not in play.
 """
 
 from __future__ import annotations
@@ -29,16 +35,19 @@ class Datagram:
     stream: str
     payload: Mapping[str, Value]
     timestamp: float = 0.0
+    seq: Optional[int] = None
 
     def __init__(
         self,
         stream: str,
         payload: Mapping[str, Value],
         timestamp: float = 0.0,
+        seq: Optional[int] = None,
     ) -> None:
         object.__setattr__(self, "stream", stream)
         object.__setattr__(self, "payload", dict(payload))
         object.__setattr__(self, "timestamp", float(timestamp))
+        object.__setattr__(self, "seq", None if seq is None else int(seq))
 
     # -- accessors ---------------------------------------------------------------
 
@@ -63,11 +72,11 @@ class Datagram:
         """
         keep = set(attributes)
         payload = {k: v for k, v in self.payload.items() if k in keep}
-        return Datagram(self.stream, payload, self.timestamp)
+        return Datagram(self.stream, payload, self.timestamp, self.seq)
 
     def relabel(self, stream: str) -> "Datagram":
         """A copy tagged as belonging to another stream (result streams)."""
-        return Datagram(stream, self.payload, self.timestamp)
+        return Datagram(stream, self.payload, self.timestamp, self.seq)
 
     # -- size accounting -------------------------------------------------------------
 
@@ -83,6 +92,8 @@ class Datagram:
                 total += widths[name]
             else:
                 total += _FALLBACK_WIDTHS.get(type(value), 16)
+        if self.seq is not None:
+            total += 8  # the sequence number travels as an i64
         return total
 
     def __eq__(self, other: object) -> bool:
@@ -91,14 +102,17 @@ class Datagram:
         return (
             self.stream == other.stream
             and self.timestamp == other.timestamp
+            and self.seq == other.seq
             and dict(self.payload) == dict(other.payload)
         )
 
     def __hash__(self) -> int:
         return hash(
-            (self.stream, self.timestamp, frozenset(self.payload.items()))
+            (self.stream, self.timestamp, self.seq,
+             frozenset(self.payload.items()))
         )
 
     def __repr__(self) -> str:
         items = ", ".join(f"{k}={v!r}" for k, v in sorted(self.payload.items()))
-        return f"Datagram({self.stream}@{self.timestamp:g}: {items})"
+        tag = "" if self.seq is None else f"#{self.seq}"
+        return f"Datagram({self.stream}{tag}@{self.timestamp:g}: {items})"

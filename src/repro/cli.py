@@ -8,7 +8,7 @@
     python -m repro fig4  [--full]         # the Figure 4 sweep only
     python -m repro demo                   # the quickstart scenario + monitor
     python -m repro check [--workload W] [--strict]   # static analysis
-    python -m repro chaos [--seed N | --seeds N] [--trace] [--json PATH]
+    python -m repro chaos [--seed N | --seeds N] [--recovery] [--trace] [--json PATH]
 """
 
 from __future__ import annotations
@@ -76,6 +76,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument(
         "--faults", type=int, default=2, help="crash events per run (default 2)"
+    )
+    ch.add_argument(
+        "--recovery",
+        action="store_true",
+        help="self-healing mode: reliable uplinks heal losses, crashes "
+        "are heartbeat-detected, and the delivery oracle demands the "
+        "exact pristine feed (zero tolerated losses)",
     )
     ch.add_argument(
         "--trace", action="store_true", help="print every run's event trace"
@@ -147,7 +154,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     records = []
     failed = False
     for seed in seeds:
-        config = ChaosConfig(seed=seed, n_faults=args.faults)
+        config = ChaosConfig(
+            seed=seed, n_faults=args.faults, recovery=args.recovery
+        )
         schedule = generate_schedule(config)
         report = run_schedule(config, schedule.events)
         print(report.render())
@@ -166,15 +175,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 for event in minimal:
                     print(f"  {event.render()}")
         counters = report.counters.as_dict()
-        records.append(
-            {
-                "seed": seed,
-                "ok": report.ok,
-                "trace_digest": report.trace.digest(),
-                "violations": report.violations,
-                **counters,
-            }
-        )
+        record = {
+            "seed": seed,
+            "ok": report.ok,
+            "trace_digest": report.trace.digest(),
+            "violations": report.violations,
+            **counters,
+        }
+        if args.recovery:
+            record["convergence_time"] = report.convergence_time
+            record["reliability"] = report.reliability
+        records.append(record)
     totals = {
         "deliveries_checked": sum(r["deliveries"] for r in records),
         "faults_injected": sum(r["faults_applied"] for r in records),
@@ -183,6 +194,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "tuples_dropped": sum(r["drops"] for r in records),
         "violations": sum(len(r["violations"]) for r in records),
     }
+    if args.recovery:
+        for key in (
+            "retransmits",
+            "duplicates_suppressed",
+            "gaps_abandoned",
+            "repairs_applied",
+            "queries_quarantined",
+        ):
+            totals[key] = sum(r["reliability"][key] for r in records)
     print(
         "chaos totals: "
         + " ".join(f"{key}={value}" for key, value in totals.items())

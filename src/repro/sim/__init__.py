@@ -19,6 +19,7 @@ from repro.sim.oracle import (
     check_no_orphans,
     compare_systems,
     expected_results,
+    pristine_feed_from_events,
 )
 from repro.sim.runner import (
     ChaosConfig,
@@ -37,6 +38,7 @@ from repro.sim.schedule import (
     FaultEvent,
     InjectEvent,
     LinkModel,
+    PunctuationEvent,
     merge_events,
     perturb_feed,
     plan_faults,
@@ -54,6 +56,7 @@ __all__ = [
     "FaultEvent",
     "InjectEvent",
     "LinkModel",
+    "PunctuationEvent",
     "VirtualNetwork",
     "build_system",
     "check_chronology",
@@ -65,6 +68,7 @@ __all__ = [
     "merge_events",
     "perturb_feed",
     "plan_faults",
+    "pristine_feed_from_events",
     "protected_nodes",
     "query_ids",
     "run_chaos",

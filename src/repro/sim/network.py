@@ -20,19 +20,61 @@ Every executed event appends one canonical line to the run's
 :class:`~repro.sim.trace.ChaosTrace` (payloads pre-sorted by the
 schedule layer, counters instead of delivery lists), which is what
 makes replays byte-identical across processes.
+
+**Recovery mode** (``recovery=True``) runs the same schedule through
+the self-healing path of :mod:`repro.system.reliability` instead of
+booking losses:
+
+* injections travel a reliable sequenced uplink — one shared protocol
+  brain decides releases/suppressions once and applies them to both
+  twins, so transport nondeterminism cannot diverge them;
+* drops are recorded on the sender and healed by receiver-driven NACK /
+  retransmit timers with capped exponential backoff; end-of-phase
+  source punctuation (``seq<=top``) exposes trailing drops that no
+  higher arrival would ever reveal;
+* released tuples pass through a front-end *ordering stage*: they are
+  buffered during the batch and published to the SPE at batch end in
+  global send-time order.  The SPE engine enforces non-decreasing
+  timestamps across *all* streams, so a retransmission carrying its
+  original (old) send time must not be pushed after another stream
+  already advanced the engine clock — the ordering stage is the K-way
+  merge that restores global timestamp order, with the batch boundary
+  (quiescence) as its watermark;
+* crash events merely mark the node dead; a periodic heartbeat sweep
+  (implicit heartbeats for live nodes) lets the
+  :class:`~repro.system.reliability.FailureDetector` suspect it after
+  its lease expires, and only then does the supervisor run
+  ``fail_broker``/``fail_processor`` — with retry/backoff when a repair
+  raises, and degraded-mode quarantine when the survivors are
+  physically partitioned.
+
+All timers ride the same :class:`EventSimulator`, scheduled in a fixed
+order, so recovery traces replay byte-identically too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cbn.datagram import Datagram
-from repro.sim.schedule import ChaosEvent, DropEvent, FaultEvent, InjectEvent
+from repro.sim.schedule import (
+    ChaosEvent,
+    DropEvent,
+    FaultEvent,
+    InjectEvent,
+    PunctuationEvent,
+)
 from repro.sim.trace import ChaosTrace
 from repro.system.cosmos import CosmosSystem
 from repro.system.events import EventSimulator
 from repro.system.fault import FaultError, fail_broker, fail_processor
+from repro.system.reliability import (
+    ReliabilityParams,
+    ReliabilityState,
+    attach_reliability,
+    quarantine_partitioned,
+)
 
 
 class ChaosExecutionError(Exception):
@@ -75,17 +117,36 @@ class VirtualNetwork:
 
     build: Callable[..., CosmosSystem]
     check_fast_path: bool = True
+    #: Run the schedule through the self-healing reliability path.
+    recovery: bool = False
+    params: Optional[ReliabilityParams] = None
     primary: CosmosSystem = field(init=False)
     shadow: Optional[CosmosSystem] = field(init=False)
     trace: ChaosTrace = field(init=False, default_factory=ChaosTrace)
     counters: ChaosCounters = field(init=False, default_factory=ChaosCounters)
     #: The tuples that actually entered the system (post-perturbation,
-    #: duplicates included), in injection order — the oracle's input.
+    #: duplicates included; post-release in recovery mode), in
+    #: injection order — the oracle's input.
     effective_feed: List[Datagram] = field(init=False, default_factory=list)
+    #: Shared protocol brain (primary's ReliabilityState) in recovery mode.
+    state: Optional[ReliabilityState] = field(init=False, default=None)
+    #: Simulated time of the last self-healing action (repair applied,
+    #: retransmission released, gap abandoned); ``None`` = never needed.
+    last_recovery_time: Optional[float] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         self.primary = self.build(fast_path=True)
         self.shadow = self.build(fast_path=False) if self.check_fast_path else None
+        self._crashed: Dict[int, str] = {}
+        #: Ordering stage: released-but-unpublished (sent, stream, seq,
+        #: payload), flushed to the SPE in send-time order at batch end.
+        self._pending: List[tuple] = []
+        if self.recovery:
+            self.state = attach_reliability(self.primary, self.params)
+            if self.shadow is not None:
+                attach_reliability(self.shadow, self.state.params)
+            for node in self.primary.tree.nodes:
+                self.state.detector.register(node, 0.0)
 
     @property
     def systems(self) -> List[CosmosSystem]:
@@ -95,28 +156,55 @@ class VirtualNetwork:
         return self.primary.network.routing_epoch
 
     def execute(self, events: Sequence[ChaosEvent]) -> ChaosCounters:
-        """Run ``events`` through the simulator in global time order."""
+        """Run ``events`` through the simulator in global time order.
+
+        In recovery mode, heartbeat sweeps are pre-scheduled over the
+        batch's time range (plus a lease of slack so a crash near the
+        end is still detected) — data events first, sweeps second, so
+        equal-time ties always resolve the same way.
+        """
         sim = EventSimulator()
         for event in events:
-            sim.schedule(event.time, lambda e=event: self._apply(e))
+            sim.schedule(event.time, lambda e=event: self._apply(e, sim))
+        if self.recovery and events:
+            self._schedule_sweeps(sim, events)
         while sim.step() is not None:
             pass
+        if self.recovery:
+            self._flush_deliveries()
         return self.counters
+
+    def _schedule_sweeps(
+        self, sim: EventSimulator, events: Sequence[ChaosEvent]
+    ) -> None:
+        params = self.state.params
+        period = params.heartbeat_period
+        first = min(event.time for event in events)
+        last = max(event.time for event in events)
+        horizon = last + params.lease + 2.0 * period
+        tick = max(1, int(first // period))
+        while tick * period <= horizon:
+            sim.schedule(tick * period, lambda s=sim: self._sweep(s))
+            tick += 1
 
     # -- event application -------------------------------------------------------
 
-    def _apply(self, event: ChaosEvent) -> None:
+    def _apply(self, event: ChaosEvent, sim: EventSimulator) -> None:
         if isinstance(event, InjectEvent):
-            self._apply_inject(event)
+            self._apply_inject(event, sim)
         elif isinstance(event, DropEvent):
-            self.counters.drops += 1
-            self.trace.record(event.render())
+            self._apply_drop(event)
         elif isinstance(event, FaultEvent):
             self._apply_fault(event)
+        elif isinstance(event, PunctuationEvent):
+            self._apply_punctuation(event, sim)
         else:  # pragma: no cover - schedule layer only emits the above
             raise ChaosExecutionError(f"unknown chaos event {event!r}")
 
-    def _apply_inject(self, event: InjectEvent) -> None:
+    def _apply_inject(self, event: InjectEvent, sim: EventSimulator) -> None:
+        if self.recovery and event.seq is not None:
+            self._apply_inject_reliable(event, sim)
+            return
         payload = dict(event.payload)
         delivered = len(self.primary.publish(event.stream, payload, event.time))
         if self.shadow is not None:
@@ -130,7 +218,24 @@ class VirtualNetwork:
         self.counters.deliveries += delivered
         self.trace.record(f"{event.render()} -> {delivered} deliveries")
 
+    def _apply_drop(self, event: DropEvent) -> None:
+        self.counters.drops += 1
+        if self.recovery and event.seq is not None:
+            # The wire ate the tuple but the sender did send it: retain
+            # it for retransmission (the gap shows up when a higher
+            # sequence number reaches the receiver).
+            self.state.uplink(event.stream).record(
+                event.seq, dict(event.payload or ()), event.sent or event.time
+            )
+        self.trace.record(event.render())
+
     def _apply_fault(self, event: FaultEvent) -> None:
+        if self.recovery:
+            # Nothing repairs here: the node just goes silent, and the
+            # heartbeat sweep must notice on its own.
+            self._crashed[event.node] = event.kind
+            self.trace.record(f"{event.render()} -> crashed")
+            return
         outcomes = []
         for system in self.systems:
             try:
@@ -151,3 +256,220 @@ class VirtualNetwork:
         else:
             self.counters.faults_refused += 1
         self.trace.record(f"{event.render()} -> {outcome}")
+
+    # -- reliable uplink ----------------------------------------------------------
+
+    def _apply_inject_reliable(
+        self, event: InjectEvent, sim: EventSimulator
+    ) -> None:
+        stream = event.stream
+        payload = dict(event.payload)
+        sent = event.sent if event.sent is not None else event.time
+        if not event.duplicate:
+            self.state.uplink(stream).record(event.seq, payload, sent)
+        offer = self.state.receiver(stream).offer(event.seq, payload, sent)
+        self.counters.injects += 1
+        if event.duplicate:
+            self.counters.duplicates += 1
+        released = self._release(stream, offer.released)
+        for gap in offer.fresh_gaps:
+            self._schedule_nack(sim, stream, gap, attempt=1)
+        tag = " suppressed" if offer.duplicate else ""
+        self.trace.record(
+            f"{event.render()} -> {released} released{tag}"
+        )
+
+    def _apply_punctuation(
+        self, event: PunctuationEvent, sim: EventSimulator
+    ) -> None:
+        if not self.recovery:
+            self.trace.record(event.render())
+            return
+        fresh = self.state.receiver(event.stream).announce(event.top)
+        for gap in fresh:
+            self._schedule_nack(sim, event.stream, gap, attempt=1)
+        self.trace.record(f"{event.render()} -> {len(fresh)} gaps")
+
+    def _release(self, stream: str, released: Sequence[tuple]) -> int:
+        """Stage receiver-released tuples for the batch-end flush.
+
+        Releases are *transport*-ordered (per-stream sequence order) but
+        may lag other streams in time, so publishing here would violate
+        the SPE's cross-stream timestamp contract; the ordering stage
+        (:meth:`_flush_deliveries`) publishes them in global send-time
+        order once the batch quiesces.
+        """
+        for seq, payload, sent in released:
+            self._pending.append((sent, stream, seq, dict(payload)))
+        return len(released)
+
+    def _flush_deliveries(self) -> None:
+        """Publish everything the ordering stage holds, in time order."""
+        if not self._pending:
+            return
+        self._pending.sort(key=lambda item: (item[0], item[1], item[2]))
+        delivered = 0
+        for sent, stream, seq, payload in self._pending:
+            delivered += len(
+                self.primary.publish(stream, dict(payload), sent, seq=seq)
+            )
+            if self.shadow is not None:
+                self.shadow.publish(stream, dict(payload), sent, seq=seq)
+            self.effective_feed.append(
+                Datagram(stream, dict(payload), sent, seq)
+            )
+        self.counters.deliveries += delivered
+        self.trace.record(
+            f"flush {len(self._pending)} tuples -> {delivered} deliveries"
+        )
+        self._pending.clear()
+
+    def _schedule_nack(
+        self, sim: EventSimulator, stream: str, gap: int, attempt: int
+    ) -> None:
+        params = self.state.params
+        delay = min(
+            params.nack_delay * (params.nack_backoff ** (attempt - 1)),
+            params.nack_cap,
+        )
+        sim.schedule_in(delay, lambda: self._nack(sim, stream, gap, attempt))
+
+    def _nack(
+        self, sim: EventSimulator, stream: str, gap: int, attempt: int
+    ) -> None:
+        receiver = self.state.receiver(stream)
+        if not receiver.outstanding(gap):
+            return  # healed (or abandoned) while the timer was pending
+        self.state.counters.nacks_sent += 1
+        item = self.state.uplink(stream).retransmit(gap)
+        if item is None:
+            # The sender never sent this number (a shrunken schedule cut
+            # the send): the gap can never heal — abandon immediately.
+            self._abandon(sim.now, stream, gap)
+            return
+        payload, sent = item
+        self.state.counters.retransmits += 1
+        self.trace.record(
+            f"nack t={sim.now:g} {stream} seq={gap} attempt={attempt}"
+        )
+        sim.schedule_in(
+            self.state.params.retransmit_rtt,
+            lambda: self._retransmit_arrival(sim, stream, gap, payload, sent),
+        )
+        if attempt < self.state.params.max_nacks:
+            self._schedule_nack(sim, stream, gap, attempt + 1)
+        else:
+            # Last NACK in flight; if even its retransmission is lost
+            # the gap is abandoned when the final timer fires.
+            sim.schedule_in(
+                self.state.params.nack_cap,
+                lambda: self._give_up(sim, stream, gap),
+            )
+
+    def _retransmit_arrival(
+        self,
+        sim: EventSimulator,
+        stream: str,
+        seq: int,
+        payload: Dict[str, object],
+        sent: float,
+    ) -> None:
+        offer = self.state.receiver(stream).offer(seq, payload, sent)
+        released = self._release(stream, offer.released)
+        if offer.released:
+            self.last_recovery_time = sim.now
+        tag = " suppressed" if offer.duplicate else ""
+        self.trace.record(
+            f"retransmit t={sim.now:g} {stream} seq={seq} -> "
+            f"{released} released{tag}"
+        )
+
+    def _give_up(self, sim: EventSimulator, stream: str, gap: int) -> None:
+        if self.state.receiver(stream).outstanding(gap):
+            self._abandon(sim.now, stream, gap)
+
+    def _abandon(self, now: float, stream: str, gap: int) -> None:
+        released = self._release(stream, self.state.receiver(stream).abandon(gap))
+        self.last_recovery_time = now
+        self.trace.record(
+            f"abandon t={now:g} {stream} seq={gap} -> {released} released"
+        )
+
+    # -- failure detection and repair ---------------------------------------------
+
+    def _sweep(self, sim: EventSimulator) -> None:
+        now = sim.now
+        detector = self.state.detector
+        for node in detector.monitored:
+            if node not in self._crashed:
+                detector.heartbeat(node, now)
+        for node in detector.check(now):
+            self.state.counters.nodes_suspected += 1
+            self.trace.record(f"suspect t={now:g} node={node}")
+            self._repair(sim, node, attempt=1)
+
+    def _repair(self, sim: EventSimulator, node: int, attempt: int) -> None:
+        kind = self._crashed.get(node, "broker")
+        outcomes: List[str] = []
+        errors: List[FaultError] = []
+        for system in self.systems:
+            try:
+                if kind == "broker":
+                    fail_broker(system, node)
+                else:
+                    fail_processor(system, node)
+                outcomes.append("repaired")
+            except FaultError as exc:
+                outcomes.append(f"error ({exc})")
+                errors.append(exc)
+        if len(set(outcomes)) > 1:
+            raise ChaosExecutionError(
+                f"twins diverged repairing node {node}: {outcomes}"
+            )
+        if outcomes[0] == "repaired":
+            self.counters.faults_applied += 1
+            self.state.counters.repairs_applied += 1
+            self.state.detector.deregister(node)
+            self.last_recovery_time = sim.now
+            self.trace.record(
+                f"repair t={sim.now:g} fail_{kind} node={node} -> applied"
+            )
+            return
+        if kind == "broker" and "partitioned" in str(errors[0]):
+            self._degrade(sim, node)
+            return
+        if attempt < self.state.params.max_repair_attempts:
+            self.state.counters.repairs_retried += 1
+            self.trace.record(
+                f"repair t={sim.now:g} fail_{kind} node={node} -> "
+                f"retry {attempt + 1} ({errors[0]})"
+            )
+            sim.schedule_in(
+                self.state.params.repair_backoff * attempt,
+                lambda: self._repair(sim, node, attempt + 1),
+            )
+            return
+        self.counters.faults_refused += 1
+        self.state.detector.deregister(node)
+        self.trace.record(
+            f"repair t={sim.now:g} fail_{kind} node={node} -> "
+            f"gave up ({errors[0]})"
+        )
+
+    def _degrade(self, sim: EventSimulator, node: int) -> None:
+        """Partitioned survivors: quarantine instead of refusing."""
+        quarantined: List[List[str]] = []
+        for system in self.systems:
+            quarantined.append(quarantine_partitioned(system, node))
+        if len({tuple(q) for q in quarantined}) > 1:
+            raise ChaosExecutionError(
+                f"twins diverged degrading node {node}: {quarantined}"
+            )
+        self.counters.faults_applied += 1
+        self.state.detector.deregister(node)
+        self.last_recovery_time = sim.now
+        names = ",".join(quarantined[0]) or "-"
+        self.trace.record(
+            f"repair t={sim.now:g} fail_broker node={node} -> "
+            f"degraded [{names}]"
+        )

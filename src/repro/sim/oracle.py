@@ -32,10 +32,47 @@ from typing import Dict, List, Sequence, Tuple
 from repro.cbn.datagram import Datagram
 from repro.cql.ast import ContinuousQuery
 from repro.cql.schema import Catalog
-from repro.system.cosmos import CosmosSystem
+from repro.sim.schedule import ChaosEvent, DropEvent, InjectEvent
+from repro.system.cosmos import CosmosSystem, QueryStatus
 
 #: One expected delivery: (payload under qualified names, timestamp).
 ExpectedResult = Tuple[Dict[str, object], float]
+
+
+def pristine_feed_from_events(
+    events: Sequence[ChaosEvent],
+) -> List[Datagram]:
+    """The pristine (pre-perturbation) feed a recovery run must deliver.
+
+    Reconstructed from the schedule itself so it stays exact for any
+    sub-schedule the shrinker produces: every sequenced send — a
+    non-duplicate injection or a drop (the wire ate it, but the
+    reliable uplink must heal it) — contributes one datagram at its
+    original send time.  Per stream the order is sequence order, which
+    is send order; globally the feed sorts by send time (ties broken
+    by stream/seq), matching the per-query delivery order of the
+    sequenced uplink.
+    """
+    sends: Dict[Tuple[str, int], Datagram] = {}
+    for event in events:
+        if isinstance(event, InjectEvent) and not event.duplicate:
+            if event.seq is None:
+                continue
+            sent = event.sent if event.sent is not None else event.time
+            sends[(event.stream, event.seq)] = Datagram(
+                event.stream, dict(event.payload), sent, event.seq
+            )
+        elif isinstance(event, DropEvent) and event.seq is not None:
+            sent = event.sent if event.sent is not None else event.time
+            sends[(event.stream, event.seq)] = Datagram(
+                event.stream, dict(event.payload or ()), sent, event.seq
+            )
+    return [
+        sends[key]
+        for key in sorted(
+            sends, key=lambda k: (sends[k].timestamp, k[0], k[1])
+        )
+    ]
 
 
 def expected_results(
@@ -93,6 +130,8 @@ def check_ground_truth(
     violations: List[str] = []
     for query_id in query_ids:
         handle = system.query(query_id)
+        if handle.status is not QueryStatus.ACTIVE:
+            continue  # quarantined: delivery is suspended by design
         want = expected_results(handle.query, system.catalog, feed)
         got = _delivered(system, query_id)
         if got != want:
@@ -121,6 +160,10 @@ def check_no_orphans(system: CosmosSystem) -> List[str]:
     violations: List[str] = []
     live = system.network.subscriptions()
     for query_id, handle in sorted(system._queries.items()):
+        if handle.status is not QueryStatus.ACTIVE:
+            # A quarantined (DEGRADED) query holds no subscriptions by
+            # design; it is not an orphan.
+            continue
         sub_id = system._user_subscriptions.get(query_id)
         if sub_id is None:
             violations.append(

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cql.schema import Attribute, StreamSchema
 from repro.overlay.topology import barabasi_albert
@@ -43,12 +43,14 @@ from repro.sim.oracle import (
     check_ground_truth,
     check_no_orphans,
     compare_systems,
+    pristine_feed_from_events,
 )
 from repro.sim.schedule import (
     ChaosEvent,
     ChaosSchedule,
     InjectEvent,
     LinkModel,
+    PunctuationEvent,
     merge_events,
     perturb_feed,
     plan_faults,
@@ -126,6 +128,10 @@ class ChaosConfig:
     epilogue_tuples: int = 3  # per stream, after quiescence
     processor_fault_p: float = 0.35
     check_fast_path: bool = True
+    #: Self-healing mode: sequenced uplinks heal drops/dups/reorders
+    #: in-band, crashes are detector-driven, and the oracle demands
+    #: *exact* delivery of the pristine feed (zero tolerated losses).
+    recovery: bool = False
 
     @property
     def epilogue_start(self) -> float:
@@ -232,15 +238,39 @@ def _pristine_feed(
     return feed
 
 
+def _number_feed(
+    feed: List[Tuple[float, str, Dict[str, object]]],
+    next_seq: Dict[str, int],
+) -> List[Tuple[float, str, Dict[str, object], int]]:
+    """Annotate a time-sorted pristine feed with per-stream sequence
+    numbers, continuing from (and advancing) ``next_seq``."""
+    numbered = []
+    for time, stream, payload in feed:
+        seq = next_seq.get(stream, 0)
+        next_seq[stream] = seq + 1
+        numbered.append((time, stream, payload, seq))
+    return numbered
+
+
 def generate_schedule(config: ChaosConfig) -> ChaosSchedule:
-    """The fully resolved chaos schedule of ``config`` (a pure function)."""
+    """The fully resolved chaos schedule of ``config`` (a pure function).
+
+    With ``recovery=True`` the same schedule is generated (identical
+    RNG draws, times, payloads and faults) with every feed event
+    annotated by its uplink sequence number and original send time —
+    the transport metadata the self-healing executor needs.
+    """
     layout = _layout(config)
     links = {
         schema.name: LinkModel(config.max_delay, config.drop_p, config.dup_p)
         for schema in layout["schemas"]
     }
+    main_feed = _pristine_feed(config, "main", config.n_tuples, start=1.0)
+    next_seq: Dict[str, int] = {}
+    if config.recovery:
+        main_feed = _number_feed(main_feed, next_seq)
     main = perturb_feed(
-        _pristine_feed(config, "main", config.n_tuples, start=1.0),
+        main_feed,
         links,
         config.rng("links"),
     )
@@ -255,18 +285,48 @@ def generate_schedule(config: ChaosConfig) -> ChaosSchedule:
         processor_candidates=list(layout["processors"]),
         processor_fault_p=config.processor_fault_p,
     )
+    # Source punctuation closes the main phase in recovery mode: each
+    # stream announces its highest main-phase sequence number just
+    # before the epilogue boundary (safely after every delayed or
+    # duplicated arrival), so a *trailing* drop — one no higher arrival
+    # would ever expose — is NACKed and healed before the convergence
+    # check and the main-phase delivery flush.
+    punctuation: List[ChaosEvent] = []
+    if config.recovery:
+        punct_time = config.duration + 2.0 * config.max_delay
+        punctuation = [
+            PunctuationEvent(punct_time, stream, next_seq[stream] - 1)
+            for stream in sorted(next_seq)
+            if next_seq[stream] > 0
+        ]
     # The epilogue is pristine by construction: after quiescence the
-    # convergence oracle wants exact, loss-free traffic.
-    epilogue: List[ChaosEvent] = [
-        InjectEvent(time, stream, tuple(sorted(payload.items())))
-        for time, stream, payload in _pristine_feed(
-            config,
-            "epilogue",
-            config.epilogue_tuples,
-            start=config.epilogue_start + 10.0,
-        )
-    ]
-    return ChaosSchedule(config.seed, merge_events(main, faults, epilogue))
+    # convergence oracle wants exact, loss-free traffic.  In recovery
+    # mode it continues the per-stream numbering, so a gap left by a
+    # trailing main-phase drop is detected by the first epilogue tuple.
+    epilogue_feed = _pristine_feed(
+        config,
+        "epilogue",
+        config.epilogue_tuples,
+        start=config.epilogue_start + 10.0,
+    )
+    if config.recovery:
+        epilogue: List[ChaosEvent] = [
+            InjectEvent(
+                time, stream, tuple(sorted(payload.items())),
+                seq=seq, sent=time,
+            )
+            for time, stream, payload, seq in _number_feed(
+                epilogue_feed, next_seq
+            )
+        ]
+    else:
+        epilogue = [
+            InjectEvent(time, stream, tuple(sorted(payload.items())))
+            for time, stream, payload in epilogue_feed
+        ]
+    return ChaosSchedule(
+        config.seed, merge_events(main, faults, punctuation, epilogue)
+    )
 
 
 @dataclass
@@ -278,6 +338,11 @@ class ChaosReport:
     counters: ChaosCounters
     trace: ChaosTrace
     routing_epoch: int = 0
+    #: Simulated time of the last self-healing action (recovery mode);
+    #: ``None`` when no recovery was ever needed (or lossy mode).
+    convergence_time: Optional[float] = None
+    #: Reliability counters snapshot (recovery mode only).
+    reliability: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -285,9 +350,17 @@ class ChaosReport:
 
     def render(self) -> str:
         status = "OK" if self.ok else f"FAIL ({len(self.violations)} violations)"
+        tail = ""
+        if self.config.recovery:
+            converged = (
+                f"converged t={self.convergence_time:g}"
+                if self.convergence_time is not None
+                else "no recovery needed"
+            )
+            tail = f" recovery ({converged})"
         lines = [
             f"chaos seed={self.config.seed} {status} "
-            f"trace={self.trace.digest()}",
+            f"trace={self.trace.digest()}{tail}",
             *(f"  violation: {v}" for v in self.violations),
         ]
         return "\n".join(lines)
@@ -301,10 +374,17 @@ def run_schedule(
     The list may be any sub-schedule of ``generate_schedule(config)``
     (the shrinker passes candidates through here); events at or past
     ``config.epilogue_start`` run after the convergence snapshot.
+
+    With ``config.recovery`` the run goes through the self-healing
+    path and the ground-truth oracle becomes *exact*: the expectation
+    is computed from the pristine feed reconstructed out of the event
+    list itself — drops must be healed by retransmission, duplicates
+    suppressed, reorderings repaired, with zero tolerated losses.
     """
     vnet = VirtualNetwork(
         build=lambda fast_path: build_system(config, fast_path=fast_path),
         check_fast_path=config.check_fast_path,
+        recovery=config.recovery,
     )
     main = [e for e in events if e.time < config.epilogue_start]
     epilogue = [e for e in events if e.time >= config.epilogue_start]
@@ -324,7 +404,12 @@ def run_schedule(
     if len(ids) != len(query_ids(config)):
         lost = sorted(set(query_ids(config)) - set(ids))
         violations.append(f"ground-truth: queries {lost} vanished")
-    violations.extend(check_ground_truth(vnet.primary, vnet.effective_feed, ids))
+    oracle_feed = (
+        pristine_feed_from_events(events)
+        if config.recovery
+        else vnet.effective_feed
+    )
+    violations.extend(check_ground_truth(vnet.primary, oracle_feed, ids))
     violations.extend(check_no_orphans(vnet.primary))
     violations.extend(check_chronology(vnet.primary))
     if vnet.shadow is not None:
@@ -336,6 +421,10 @@ def run_schedule(
         counters=vnet.counters,
         trace=vnet.trace,
         routing_epoch=vnet.routing_epoch(),
+        convergence_time=vnet.last_recovery_time,
+        reliability=(
+            vnet.state.counters.as_dict() if vnet.state is not None else None
+        ),
     )
 
 

@@ -30,28 +30,67 @@ PayloadItems = Tuple[Tuple[str, object], ...]
 
 @dataclass(frozen=True)
 class InjectEvent:
-    """Publish one source tuple at ``time`` (its effective timestamp)."""
+    """Publish one source tuple at ``time`` (its effective timestamp).
+
+    Recovery-mode schedules additionally carry the uplink transport
+    metadata: ``seq`` is the tuple's per-stream sequence number and
+    ``sent`` its original (pristine) send time — the application
+    timestamp the receiver publishes with.  Both stay ``None`` in lossy
+    mode, where rendering and execution are unchanged.
+    """
 
     time: float
     stream: str
     payload: PayloadItems
     duplicate: bool = False
+    seq: Optional[int] = None
+    sent: Optional[float] = None
 
     def render(self) -> str:
         items = ",".join(f"{k}={v!r}" for k, v in self.payload)
         tag = " dup" if self.duplicate else ""
+        if self.seq is not None:
+            tag += f" seq={self.seq}"
         return f"inject t={self.time:g} {self.stream}[{items}]{tag}"
 
 
 @dataclass(frozen=True)
 class DropEvent:
-    """A tuple the lossy source link ate; executed as a no-op record."""
+    """A tuple the lossy source link ate; executed as a no-op record.
+
+    In recovery mode the drop still *was* a send: ``seq``, ``payload``
+    and ``sent`` let the executor record it on the sender's uplink so a
+    later NACK can retransmit exactly what the wire ate.
+    """
 
     time: float
     stream: str
+    seq: Optional[int] = None
+    payload: Optional[PayloadItems] = None
+    sent: Optional[float] = None
 
     def render(self) -> str:
-        return f"drop t={self.time:g} {self.stream}"
+        tag = f" seq={self.seq}" if self.seq is not None else ""
+        return f"drop t={self.time:g} {self.stream}{tag}"
+
+
+@dataclass(frozen=True)
+class PunctuationEvent:
+    """Source punctuation: ``stream`` has sent everything up to ``top``.
+
+    Recovery-mode schedules emit one per stream at the end of the main
+    phase, so a *trailing* drop (no higher sequence number ever arrives
+    to expose the gap) is still detected and healed before the
+    convergence epilogue — the classic source-heartbeat/FIN trick of
+    upstream-backup designs.
+    """
+
+    time: float
+    stream: str
+    top: int
+
+    def render(self) -> str:
+        return f"punct t={self.time:g} {self.stream} seq<={self.top}"
 
 
 @dataclass(frozen=True)
@@ -66,7 +105,7 @@ class FaultEvent:
         return f"fail_{self.kind} t={self.time:g} node={self.node}"
 
 
-ChaosEvent = object  # InjectEvent | DropEvent | FaultEvent
+ChaosEvent = object  # InjectEvent | DropEvent | FaultEvent | PunctuationEvent
 
 
 @dataclass
@@ -110,27 +149,44 @@ def perturb_feed(
 ) -> List[ChaosEvent]:
     """Apply per-link delay/drop/duplication to a pristine feed.
 
-    ``pristine`` is a list of ``(time, stream, payload)``; the result is
-    the surviving injections (at their delayed effective times, with
-    duplicates) plus drop records, sorted by effective time.  Draw
-    order is fixed per tuple (drop, delay, dup, dup-delay) so the
-    perturbation of one tuple never shifts another's randomness.
+    ``pristine`` is a list of ``(time, stream, payload)`` — or, for
+    recovery-mode schedules, ``(time, stream, payload, seq)``, in which
+    case every resulting event is annotated with the tuple's sequence
+    number and original send time (drops keep the payload so the
+    sender can retransmit).  The result is the surviving injections (at
+    their delayed effective times, with duplicates) plus drop records,
+    sorted by effective time.  Draw order is fixed per tuple (drop,
+    delay, dup, dup-delay) so the perturbation of one tuple never
+    shifts another's randomness — and is identical with and without
+    sequence annotations, so the recovery flag never perturbs the
+    lossy-mode schedule.
     """
     events: List[ChaosEvent] = []
-    for time, stream, payload in pristine:
+    for item in pristine:
+        time, stream, payload = item[0], item[1], item[2]
+        seq = item[3] if len(item) > 3 else None
+        sent = time if seq is not None else None
         link = links.get(stream, LinkModel(0.0, 0.0, 0.0))
         dropped = rng.random() < link.drop_p
         delay = rng.uniform(0.0, link.max_delay) if link.max_delay else 0.0
         duplicated = rng.random() < link.dup_p
         dup_delay = rng.uniform(0.0, link.max_delay) if link.max_delay else 0.0
-        if dropped:
-            events.append(DropEvent(time, stream))
-            continue
         items = _sorted_payload(payload)
-        events.append(InjectEvent(time + delay, stream, items))
+        if dropped:
+            if seq is None:
+                events.append(DropEvent(time, stream))
+            else:
+                events.append(DropEvent(time, stream, seq, items, sent))
+            continue
+        events.append(
+            InjectEvent(time + delay, stream, items, seq=seq, sent=sent)
+        )
         if duplicated:
             events.append(
-                InjectEvent(time + delay + dup_delay, stream, items, duplicate=True)
+                InjectEvent(
+                    time + delay + dup_delay, stream, items,
+                    duplicate=True, seq=seq, sent=sent,
+                )
             )
     events.sort(key=lambda e: e.time)
     return events

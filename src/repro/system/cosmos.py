@@ -19,6 +19,7 @@ handle, and all traffic is accounted on the network's
 
 from __future__ import annotations
 
+import enum
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
@@ -43,6 +44,20 @@ class SystemError_(Exception):
     """Raised for invalid system operations (unknown streams/nodes)."""
 
 
+class QueryStatus(enum.Enum):
+    """Lifecycle state of a submitted query.
+
+    ``ACTIVE`` queries are installed end to end.  ``DEGRADED`` queries
+    have been quarantined by the reliability layer because a physical
+    partition made some of their nodes unreachable; their handles (and
+    accumulated results) survive, but no subscriptions are installed
+    until :func:`repro.system.reliability.heal_partition` resumes them.
+    """
+
+    ACTIVE = "active"
+    DEGRADED = "degraded"
+
+
 @dataclass
 class SubmittedQuery:
     """Handle for one user query living in the system."""
@@ -53,6 +68,7 @@ class SubmittedQuery:
     processor_node: NodeId
     result_stream: str
     results: List[Datagram] = field(default_factory=list)
+    status: QueryStatus = QueryStatus.ACTIVE
 
     @property
     def result_count(self) -> int:
@@ -135,6 +151,9 @@ class CosmosSystem:
         self._user_subscriptions: Dict[str, str] = {}
         self._counter = itertools.count()
         self._sub_version = itertools.count()
+        #: Reliability state (:func:`repro.system.reliability.attach_reliability`);
+        #: ``None`` until a supervisor attaches one.
+        self.reliability = None
 
     def _make_processor(self, node: NodeId) -> Processor:
         threshold = 0.0 if self.merging else float("inf")
@@ -276,14 +295,18 @@ class CosmosSystem:
         stream: str,
         payload: Dict[str, object],
         timestamp: float,
+        seq: Optional[int] = None,
     ) -> List[Delivery]:
         """Inject one source tuple and drive it end to end.
 
         Returns every delivery made to a *user* subscription; results
         are also appended to the owning :class:`SubmittedQuery`.
+        ``seq`` is the uplink transport sequence number when the tuple
+        arrived over a reliable sequenced uplink; it rides the datagram
+        through routing, projection and result relabelling.
         """
         node = self.source_node(stream)
-        datagram = Datagram(stream, payload, timestamp)
+        datagram = Datagram(stream, payload, timestamp, seq)
         user_deliveries: List[Delivery] = []
         # Each pending item is a batch of datagrams injected at one
         # broker: the source tuple first, then whole result batches

@@ -92,6 +92,37 @@ class SystemMonitor:
             "data_bytes": network.data_stats.total_bytes(),
         }
 
+    # -- reliability ---------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """Reliability-layer health: transport activity and suspicion.
+
+        Counter values come from the attached
+        :class:`~repro.system.reliability.ReliabilityState`; without
+        one, every counter reads zero and the node/query lists are
+        empty (an unmonitored system is trivially healthy).
+        """
+        state = self._system.reliability
+        if state is None:
+            from repro.system.reliability import ReliabilityCounters
+
+            counters = ReliabilityCounters().as_dict()
+            suspected: List[int] = []
+            quarantined: List[str] = []
+        else:
+            counters = state.counters.as_dict()
+            suspected = state.detector.suspected
+            quarantined = sorted(state.quarantined)
+        out: Dict[str, object] = dict(counters)
+        out["suspected_nodes"] = suspected
+        out["quarantined_queries"] = quarantined
+        out["degraded_queries"] = sum(
+            1
+            for handle in self._system.queries
+            if handle.status.name == "DEGRADED"
+        )
+        return out
+
     # -- reporting -------------------------------------------------------------------
 
     def report(self) -> str:
@@ -125,6 +156,18 @@ class SystemMonitor:
                 ["metric", "value"],
                 sorted(pressure.items()),
                 "Data layer",
+            )
+        )
+        health = self.health()
+        sections.append(
+            render_table(
+                ["metric", "value"],
+                [
+                    [key, value if not isinstance(value, list) else
+                     (", ".join(str(v) for v in value) or "-")]
+                    for key, value in sorted(health.items())
+                ],
+                "Reliability",
             )
         )
         return "\n\n".join(sections)

@@ -32,6 +32,8 @@ def rebuild_network(system: "CosmosSystem", tree: DisseminationTree) -> None:
     would need their own reorganisation); systems using them must
     rebuild those separately.
     """
+    from repro.system.cosmos import QueryStatus
+
     nodes = set(tree.nodes)
     for stream, src in system._sources.items():
         if src not in nodes:
@@ -40,6 +42,10 @@ def rebuild_network(system: "CosmosSystem", tree: DisseminationTree) -> None:
         if node not in nodes:
             raise RebuildError(f"processor node {node} not in new tree")
     for handle in system.queries:
+        # Degraded queries are quarantined precisely because their user
+        # is unreachable; they carry no subscriptions to rebuild.
+        if handle.status is not QueryStatus.ACTIVE:
+            continue
         if handle.user_node not in nodes:
             raise RebuildError(f"user node {handle.user_node} not in new tree")
 

@@ -1,0 +1,638 @@
+"""Self-healing reliability layer.
+
+The paper's two-layer fault-tolerance story (section 2) repairs
+*state* — :func:`~repro.system.fault.repair_tree` reconnects the
+dissemination tree, :func:`~repro.system.fault.fail_processor` re-homes
+queries — but nothing detects failures or recovers lost data.  This
+module closes that gap with three cooperating mechanisms, all pure
+value-level state machines so the chaos harness can drive them
+deterministically over the :class:`~repro.system.events.EventSimulator`:
+
+* **Reliable sequenced uplinks** — each source uplink carries a
+  monotone per-stream sequence number (:attr:`Datagram.seq`).  The
+  sender half (:class:`SequencedUplink`) retains sent tuples for
+  retransmission; the receiver half (:class:`UplinkReceiver`) detects
+  gaps, suppresses duplicates, and holds out-of-order arrivals in a
+  bounded reorder buffer released in sequence order.  NACK scheduling
+  (capped exponential backoff) is the *caller's* job — these classes
+  only report which sequence numbers are missing, so the protocol state
+  stays replayable.
+* **Heartbeat failure detection** — :class:`FailureDetector` grants
+  each registered node a lease of ``heartbeat_period * lease_misses``;
+  a node whose lease expires without a heartbeat is *suspected* and the
+  supervisor invokes the existing repair path
+  (``fail_broker``/``fail_processor``) automatically.
+* **Graceful degradation** — when a repair finds the survivors
+  physically partitioned, :func:`quarantine_partitioned` keeps the main
+  component running and marks the stranded queries
+  :attr:`~repro.system.cosmos.QueryStatus.DEGRADED` instead of raising
+  into the caller; :func:`heal_partition` resumes them once the
+  partition heals.
+
+:func:`attach_reliability` hangs a shared :class:`ReliabilityState` on
+a :class:`~repro.system.cosmos.CosmosSystem`, where
+:class:`~repro.system.monitor.SystemMonitor.health` picks it up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.overlay.topology import Edge, NodeId, Topology, edge_key
+from repro.overlay.tree import DisseminationTree
+from repro.system.cosmos import CosmosSystem, QueryStatus
+
+
+class ReliabilityError(Exception):
+    """Raised for transport protocol violations (bad sequence numbers)."""
+
+
+# ---------------------------------------------------------------------------
+# parameters and counters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReliabilityParams:
+    """Tunable timing and sizing parameters of the reliability layer.
+
+    Defaults are sized for the chaos harness timing budget: faults land
+    in ``[0.2, 0.6] * duration`` and the epilogue starts at
+    ``duration + 2 * max_delay + 1``, so detection
+    (``heartbeat_period * lease_misses`` after the crash) and NACK
+    recovery (worst case ``sum of backoffs + retransmit_rtt``) both
+    complete before the convergence check.
+    """
+
+    #: Seconds between heartbeat sweeps.
+    heartbeat_period: float = 5.0
+    #: Missed periods before a node is suspected (lease = period * misses).
+    lease_misses: int = 3
+    #: Delay before the first NACK for a detected gap.
+    nack_delay: float = 4.0
+    #: Multiplier applied to the NACK delay after each unanswered NACK.
+    nack_backoff: float = 2.0
+    #: Ceiling on the NACK delay (capped exponential backoff).
+    nack_cap: float = 32.0
+    #: NACKs for one gap before the receiver abandons it.
+    max_nacks: int = 6
+    #: Simulated round-trip of a NACK + retransmission.
+    retransmit_rtt: float = 2.0
+    #: Reorder-buffer entries held before the low-watermark force flush.
+    reorder_limit: int = 64
+    #: Delay before retrying a repair attempt that raised.
+    repair_backoff: float = 4.0
+    #: Repair attempts per suspected node before giving up.
+    max_repair_attempts: int = 4
+
+    @property
+    def lease(self) -> float:
+        """Heartbeat lease duration: ``heartbeat_period * lease_misses``."""
+        return self.heartbeat_period * self.lease_misses
+
+
+@dataclass
+class ReliabilityCounters:
+    """Aggregate reliability activity, exposed via monitor ``health()``."""
+
+    nacks_sent: int = 0
+    retransmits: int = 0
+    duplicates_suppressed: int = 0
+    reorder_occupancy: int = 0
+    reorder_peak: int = 0
+    gaps_abandoned: int = 0
+    nodes_suspected: int = 0
+    repairs_applied: int = 0
+    repairs_retried: int = 0
+    queries_quarantined: int = 0
+    queries_resumed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "nacks_sent": self.nacks_sent,
+            "retransmits": self.retransmits,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "reorder_occupancy": self.reorder_occupancy,
+            "reorder_peak": self.reorder_peak,
+            "gaps_abandoned": self.gaps_abandoned,
+            "nodes_suspected": self.nodes_suspected,
+            "repairs_applied": self.repairs_applied,
+            "repairs_retried": self.repairs_retried,
+            "queries_quarantined": self.queries_quarantined,
+            "queries_resumed": self.queries_resumed,
+        }
+
+
+# ---------------------------------------------------------------------------
+# sequenced transport
+# ---------------------------------------------------------------------------
+
+
+class SequencedUplink:
+    """Sender half of one (stream, source) reliable uplink.
+
+    Stamps outgoing tuples with monotone sequence numbers and retains
+    them for retransmission.  Retention is unbounded here; a real
+    deployment would trim on cumulative acknowledgement, which the
+    chaos harness does not need (runs are finite).
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+        #: seq -> (payload mapping, original send time)
+        self._history: Dict[int, Tuple[Dict[str, object], float]] = {}
+
+    @property
+    def next_seq(self) -> int:
+        return self._next
+
+    def stamp(self, payload: Dict[str, object], sent: float) -> int:
+        """Assign the next sequence number to ``payload`` and retain it."""
+        seq = self._next
+        self.record(seq, payload, sent)
+        return seq
+
+    def record(self, seq: int, payload: Dict[str, object], sent: float) -> None:
+        """Retain a tuple under an externally assigned sequence number.
+
+        The chaos scheduler pre-assigns sequence numbers at generation
+        time (schedules are pure values) and the simulator learns of
+        sends in *arrival* order, so out-of-order recording is allowed;
+        re-recording an already retained number is a protocol violation.
+        """
+        if seq < 0:
+            raise ReliabilityError(f"negative sequence number {seq}")
+        if seq in self._history:
+            raise ReliabilityError(f"sequence number {seq} reused")
+        self._history[seq] = (dict(payload), float(sent))
+        if seq >= self._next:
+            self._next = seq + 1
+
+    def retransmit(self, seq: int) -> Optional[Tuple[Dict[str, object], float]]:
+        """The retained (payload, sent) for ``seq``; ``None`` if never sent.
+
+        ``None`` tells the receiver the gap can never heal (the sender
+        has no such tuple — e.g. a shrunken chaos schedule removed the
+        send), so it should abandon the gap immediately instead of
+        backing off through ``max_nacks``.
+        """
+        item = self._history.get(seq)
+        if item is None:
+            return None
+        payload, sent = item
+        return dict(payload), sent
+
+
+@dataclass
+class Offer:
+    """Outcome of handing one arrival to an :class:`UplinkReceiver`.
+
+    ``released`` lists the (seq, payload, sent) tuples now deliverable
+    in sequence order; ``duplicate`` flags a suppressed arrival;
+    ``fresh_gaps`` lists sequence numbers newly detected missing (the
+    caller schedules NACKs for exactly these).
+    """
+
+    released: List[Tuple[int, Dict[str, object], float]]
+    duplicate: bool = False
+    fresh_gaps: List[int] = field(default_factory=list)
+
+
+class UplinkReceiver:
+    """Receiver half of one (stream, source) reliable uplink.
+
+    Delivers tuples in sequence order: in-order arrivals release
+    immediately, out-of-order arrivals wait in a bounded reorder buffer
+    until the gap below them heals (retransmission) or is abandoned.
+    When the buffer exceeds ``reorder_limit`` the low-watermark flush
+    abandons the lowest outstanding gaps until occupancy is back under
+    the bound — bounded memory beats completeness.
+    """
+
+    def __init__(
+        self,
+        params: Optional[ReliabilityParams] = None,
+        counters: Optional[ReliabilityCounters] = None,
+    ) -> None:
+        self.params = params or ReliabilityParams()
+        self.counters = counters or ReliabilityCounters()
+        self._expected = 0
+        self._buffer: Dict[int, Tuple[Dict[str, object], float]] = {}
+        self._abandoned: Set[int] = set()
+        self._known_gaps: Set[int] = set()
+
+    @property
+    def expected(self) -> int:
+        """The next sequence number the receiver will release."""
+        return self._expected
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._buffer)
+
+    def outstanding(self, seq: int) -> bool:
+        """Whether ``seq`` is still a gap worth NACKing."""
+        return (
+            seq >= self._expected
+            and seq not in self._buffer
+            and seq not in self._abandoned
+        )
+
+    def missing(self) -> List[int]:
+        """Every outstanding gap below the highest buffered arrival."""
+        if not self._buffer:
+            return []
+        top = max(self._buffer)
+        return [
+            seq
+            for seq in range(self._expected, top)
+            if seq not in self._buffer and seq not in self._abandoned
+        ]
+
+    def offer(
+        self, seq: int, payload: Dict[str, object], sent: float
+    ) -> Offer:
+        """Hand one arrival to the receiver; returns what it unlocked."""
+        if seq < 0:
+            raise ReliabilityError(f"negative sequence number {seq}")
+        if seq < self._expected or seq in self._buffer:
+            # Below the watermark everything was already released or
+            # abandoned; either way a second copy must not be delivered.
+            self.counters.duplicates_suppressed += 1
+            self._abandoned.discard(seq)
+            return Offer(released=[], duplicate=True)
+        self._buffer[seq] = (dict(payload), float(sent))
+        released = self._flush()
+        fresh = [gap for gap in self.missing() if gap not in self._known_gaps]
+        self._known_gaps.update(fresh)
+        if len(self._buffer) > self.params.reorder_limit:
+            released.extend(self._force_flush())
+        self._note_occupancy()
+        return Offer(released=released, fresh_gaps=fresh)
+
+    def announce(self, top: int) -> List[int]:
+        """Source punctuation: every sequence number up to ``top`` was sent.
+
+        Exposes *trailing* gaps — drops after the last tuple that
+        actually arrived, which ordinary gap detection (driven by higher
+        arrivals) can never see.  Returns the newly detected gaps so the
+        caller can NACK exactly those.
+        """
+        if top < self._expected:
+            return []
+        fresh = [
+            seq
+            for seq in range(self._expected, top + 1)
+            if seq not in self._buffer
+            and seq not in self._abandoned
+            and seq not in self._known_gaps
+        ]
+        self._known_gaps.update(fresh)
+        return fresh
+
+    def abandon(self, seq: int) -> List[Tuple[int, Dict[str, object], float]]:
+        """Give up on a gap; returns arrivals it was blocking."""
+        if seq < self._expected or seq in self._buffer:
+            return []
+        self._abandoned.add(seq)
+        self._known_gaps.discard(seq)
+        self.counters.gaps_abandoned += 1
+        released = self._flush()
+        self._note_occupancy()
+        return released
+
+    def _flush(self) -> List[Tuple[int, Dict[str, object], float]]:
+        released: List[Tuple[int, Dict[str, object], float]] = []
+        while True:
+            if self._expected in self._buffer:
+                payload, sent = self._buffer.pop(self._expected)
+                self._known_gaps.discard(self._expected)
+                # A late arrival can overtake its own abandonment; the
+                # buffered copy wins and the abandonment mark is stale.
+                self._abandoned.discard(self._expected)
+                released.append((self._expected, payload, sent))
+            elif self._expected in self._abandoned:
+                self._abandoned.discard(self._expected)
+            else:
+                break
+            self._expected += 1
+        return released
+
+    def _force_flush(self) -> List[Tuple[int, Dict[str, object], float]]:
+        """Low-watermark flush: abandon the oldest gaps until bounded."""
+        released: List[Tuple[int, Dict[str, object], float]] = []
+        while len(self._buffer) > self.params.reorder_limit:
+            lowest = min(self._buffer)
+            for gap in range(self._expected, lowest):
+                if gap not in self._abandoned:
+                    self._abandoned.add(gap)
+                    self._known_gaps.discard(gap)
+                    self.counters.gaps_abandoned += 1
+            released.extend(self._flush())
+        return released
+
+    def _note_occupancy(self) -> None:
+        self.counters.reorder_occupancy = len(self._buffer)
+        if len(self._buffer) > self.counters.reorder_peak:
+            self.counters.reorder_peak = len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# failure detection
+# ---------------------------------------------------------------------------
+
+
+class FailureDetector:
+    """Lease-based heartbeat failure detector.
+
+    Each registered node holds a lease of ``heartbeat_period *
+    lease_misses`` seconds, renewed by :meth:`heartbeat`.  :meth:`check`
+    moves nodes whose lease expired into the suspected set and returns
+    them (sorted, once each) so the supervisor can repair
+    deterministically.  Time comes from the caller — the detector never
+    reads a clock.
+    """
+
+    def __init__(self, params: Optional[ReliabilityParams] = None) -> None:
+        self.params = params or ReliabilityParams()
+        self._deadlines: Dict[NodeId, float] = {}
+        self._suspected: Set[NodeId] = set()
+
+    @property
+    def monitored(self) -> List[NodeId]:
+        return sorted(self._deadlines)
+
+    @property
+    def suspected(self) -> List[NodeId]:
+        return sorted(self._suspected)
+
+    def register(self, node: NodeId, now: float) -> None:
+        self._deadlines[node] = now + self.params.lease
+        self._suspected.discard(node)
+
+    def deregister(self, node: NodeId) -> None:
+        self._deadlines.pop(node, None)
+        self._suspected.discard(node)
+
+    def heartbeat(self, node: NodeId, now: float) -> None:
+        """Renew ``node``'s lease; unknown nodes are ignored (stale
+        heartbeats from a node already deregistered by repair)."""
+        if node in self._deadlines:
+            self._deadlines[node] = now + self.params.lease
+
+    def check(self, now: float) -> List[NodeId]:
+        """Nodes whose lease expired since the last check (sorted)."""
+        newly = sorted(
+            node for node, deadline in self._deadlines.items() if deadline <= now
+        )
+        for node in newly:
+            del self._deadlines[node]
+            self._suspected.add(node)
+        return newly
+
+
+# ---------------------------------------------------------------------------
+# shared state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReliabilityState:
+    """Everything the reliability layer knows about one deployment.
+
+    One state object is deliberately shareable between twin systems
+    (fast-path / naive-scan): transport and detection decisions are
+    made once and applied to both, so the twins cannot diverge on
+    protocol nondeterminism.
+    """
+
+    params: ReliabilityParams = field(default_factory=ReliabilityParams)
+    counters: ReliabilityCounters = field(default_factory=ReliabilityCounters)
+    uplinks: Dict[str, SequencedUplink] = field(default_factory=dict)
+    receivers: Dict[str, UplinkReceiver] = field(default_factory=dict)
+    detector: FailureDetector = field(default=None)  # type: ignore[assignment]
+    failed_nodes: Set[NodeId] = field(default_factory=set)
+    #: query id -> stranded user node, while DEGRADED
+    quarantined: Dict[str, NodeId] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.detector is None:
+            self.detector = FailureDetector(self.params)
+
+    def uplink(self, stream: str) -> SequencedUplink:
+        if stream not in self.uplinks:
+            self.uplinks[stream] = SequencedUplink()
+        return self.uplinks[stream]
+
+    def receiver(self, stream: str) -> UplinkReceiver:
+        if stream not in self.receivers:
+            self.receivers[stream] = UplinkReceiver(self.params, self.counters)
+        return self.receivers[stream]
+
+
+def attach_reliability(
+    system: CosmosSystem,
+    params: Optional[ReliabilityParams] = None,
+    state: Optional[ReliabilityState] = None,
+) -> ReliabilityState:
+    """Attach (or share) a reliability state on ``system``.
+
+    Pass an existing ``state`` to share one protocol brain between twin
+    systems; otherwise a fresh state is created from ``params``.
+    """
+    if state is None:
+        state = ReliabilityState(params=params or ReliabilityParams())
+    system.reliability = state
+    return state
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation
+# ---------------------------------------------------------------------------
+
+
+def _components(topology: Topology, excluded: Set[NodeId]) -> List[Set[NodeId]]:
+    """Connected components of the physical topology minus ``excluded``."""
+    remaining = [n for n in topology.nodes if n not in excluded]
+    seen: Set[NodeId] = set()
+    components: List[Set[NodeId]] = []
+    for start in remaining:
+        if start in seen:
+            continue
+        component = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for other in sorted(topology.neighbors(node)):
+                if other in excluded or other in component:
+                    continue
+                component.add(other)
+                frontier.append(other)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def _restricted_spanning_tree(
+    topology: Topology,
+    nodes: Set[NodeId],
+    base_edges: Optional[List[Edge]] = None,
+    base_weights: Optional[Dict[Edge, float]] = None,
+) -> DisseminationTree:
+    """Kruskal spanning tree over ``nodes`` using only internal edges.
+
+    ``base_edges`` (with weights) are taken as already chosen — used by
+    :func:`heal_partition` to extend the surviving tree instead of
+    rebuilding it from scratch (subscription paths stay stable).
+    """
+    parent: Dict[NodeId, NodeId] = {node: node for node in nodes}
+
+    def find(x: NodeId) -> NodeId:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    chosen: List[Edge] = []
+    weights: Dict[Edge, float] = {}
+    for edge in base_edges or []:
+        u, v = edge
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            chosen.append(edge)
+            weights[edge] = (base_weights or {}).get(edge, 1.0)
+    candidates = sorted(
+        (
+            edge
+            for edge in topology.edges
+            if edge[0] in nodes and edge[1] in nodes
+        ),
+        key=lambda e: (topology.weights[e], e),
+    )
+    for edge in candidates:
+        u, v = edge
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            chosen.append(edge)
+            weights[edge] = topology.weights[edge]
+    return DisseminationTree(chosen, weights, nodes=sorted(nodes))
+
+
+def quarantine_partitioned(
+    system: CosmosSystem, failed: NodeId
+) -> List[str]:
+    """Degraded-mode fallback when removing ``failed`` partitions the net.
+
+    Keeps the component that can still run the workload (every source
+    and every processor must land in it), rebuilds the dissemination
+    tree over that component alone, and quarantines each query whose
+    user was stranded outside: its user subscription is withdrawn and
+    its handle flips to :attr:`QueryStatus.DEGRADED` — results stop,
+    but the handle, accumulated results, and the SPE-side group all
+    survive for :func:`heal_partition`.
+
+    Raises :class:`~repro.system.fault.FaultError` when a source or a
+    processor is stranded — that data loss cannot be quarantined into
+    a handle, so it stays a hard fault.  Returns the quarantined query
+    ids (sorted).
+    """
+    from repro.system.fault import FaultError
+    from repro.system.rebuild import rebuild_network
+
+    if system.topology is None:
+        raise FaultError("degraded-mode repair needs the underlying topology")
+    state = system.reliability
+    if state is None:
+        state = attach_reliability(system)
+    excluded = set(state.failed_nodes) | {failed}
+    components = _components(system.topology, excluded)
+    if not components:
+        raise FaultError("cannot remove the last node of the topology")
+    anchors = set(system._sources.values()) | set(system.processors)
+    main = max(
+        components,
+        key=lambda c: (len(anchors & c), len(c), -min(c)),
+    )
+    stranded_anchors = sorted(anchors - main)
+    if stranded_anchors:
+        raise FaultError(
+            f"cannot degrade: source/processor nodes {stranded_anchors} "
+            f"stranded outside the main partition"
+        )
+    quarantined: List[str] = []
+    for query_id, handle in sorted(system._queries.items()):
+        if handle.status is not QueryStatus.ACTIVE:
+            continue
+        if handle.user_node in main:
+            continue
+        sub_id = system._user_subscriptions.pop(query_id, None)
+        if sub_id is not None:
+            system.network.unsubscribe(sub_id)
+        handle.status = QueryStatus.DEGRADED
+        state.quarantined[query_id] = handle.user_node
+        state.counters.queries_quarantined += 1
+        quarantined.append(query_id)
+    repaired = _restricted_spanning_tree(system.topology, main)
+    rebuild_network(system, repaired)
+    state.failed_nodes.add(failed)
+    return quarantined
+
+
+def heal_partition(system: CosmosSystem) -> List[str]:
+    """Resume quarantined queries whose partition has healed.
+
+    Re-examines physical connectivity (the caller restored it — e.g.
+    ``system.topology.add_edge`` across the old cut): any stranded
+    component now reachable from the surviving tree is re-attached by
+    extending the tree with the cheapest internal edges, the routing
+    state is rebuilt, and every quarantined query whose user node is
+    back in the tree is re-subscribed and flipped to ``ACTIVE``.
+    Returns the resumed query ids (sorted); quarantined queries whose
+    partition still stands are left untouched.
+    """
+    from repro.system.rebuild import rebuild_network
+
+    state = system.reliability
+    if state is None or not state.quarantined:
+        return []
+    assert system.topology is not None
+    components = _components(system.topology, set(state.failed_nodes))
+    tree_nodes = set(system.tree.nodes)
+    main = next((c for c in components if c & tree_nodes), tree_nodes)
+    if not (main - tree_nodes):
+        return []  # nothing newly reachable
+    base_weights = {
+        edge: system.tree.weight(*edge) for edge in system.tree.edges
+    }
+    extended = _restricted_spanning_tree(
+        system.topology, main, system.tree.edges, base_weights
+    )
+    rebuild_network(system, extended)
+    resumed: List[str] = []
+    for query_id in sorted(state.quarantined):
+        handle = system._queries.get(query_id)
+        if handle is None:  # withdrawn while degraded
+            del state.quarantined[query_id]
+            continue
+        if handle.user_node not in main:
+            continue
+        processor = system.processors[handle.processor_node]
+        group = processor.manager.grouping.group_of(query_id)
+        if group is None:
+            del state.quarantined[query_id]
+            continue
+        profile = processor.manager.result_profiles_of(group)[query_id]
+        sub_id = system.network.subscribe(
+            profile,
+            handle.user_node,
+            subscription_id=f"user:{query_id}:v{next(system._sub_version)}",
+        )
+        system._user_subscriptions[query_id] = sub_id
+        handle.status = QueryStatus.ACTIVE
+        del state.quarantined[query_id]
+        state.counters.queries_resumed += 1
+        resumed.append(query_id)
+    return resumed

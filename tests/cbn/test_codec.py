@@ -52,6 +52,24 @@ class TestDatagramCodec:
         with pytest.raises(CodecError):
             encode_datagram(Datagram("S", {"flag": True}, 0.0))
 
+    def test_sequenced_roundtrip_preserves_seq(self):
+        d = Datagram("S", {"a": 1, "b": 2.5}, 42.0, 17)
+        decoded = decode_datagram(encode_datagram(d))
+        assert decoded == d
+        assert decoded.seq == 17
+
+    def test_sequenced_uses_distinct_magic(self):
+        plain = encode_datagram(Datagram("S", {"a": 1}, 1.0))
+        sequenced = encode_datagram(Datagram("S", {"a": 1}, 1.0, 0))
+        assert plain[:2] == b"CD"
+        assert sequenced[:2] == b"CS"
+        assert len(sequenced) == len(plain) + 8
+
+    def test_large_and_negative_seq_roundtrip(self):
+        for seq in (0, 2**40, 2**62):
+            d = Datagram("S", {"a": 1}, 1.0, seq)
+            assert decode_datagram(encode_datagram(d)).seq == seq
+
 
 class TestConjunctionCodec:
     @pytest.mark.parametrize(

@@ -24,6 +24,30 @@ class TestBasics:
         assert a != Datagram("T", {"a": 1}, 2.0)
 
 
+class TestSequenceNumbers:
+    def test_seq_participates_in_equality_and_hash(self):
+        a = Datagram("S", {"a": 1}, 2.0, 5)
+        b = Datagram("S", {"a": 1}, 2.0, 5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Datagram("S", {"a": 1}, 2.0)
+        assert a != Datagram("S", {"a": 1}, 2.0, 6)
+
+    def test_seq_shown_in_repr(self):
+        assert "#5" in repr(Datagram("S", {"a": 1}, 2.0, 5))
+        assert "#" not in repr(Datagram("S", {"a": 1}, 2.0))
+
+    def test_project_and_relabel_preserve_seq(self):
+        d = Datagram("S", {"a": 1, "b": 2}, 2.0, 5)
+        assert d.project({"a"}).seq == 5
+        assert d.relabel("results").seq == 5
+
+    def test_seq_adds_wire_size(self):
+        plain = Datagram("S", {"a": 1}, 2.0)
+        sequenced = Datagram("S", {"a": 1}, 2.0, 5)
+        assert sequenced.size_bytes() == plain.size_bytes() + 8
+
+
 class TestProjection:
     def test_project_keeps_subset(self):
         d = Datagram("S", {"a": 1, "b": 2, "c": 3})

@@ -107,3 +107,63 @@ class TestStore:
     def test_bad_replicas(self):
         with pytest.raises(DHTError):
             DHTStore(ConsistentHashRing(range(3)), replicas=0)
+
+    def test_failed_node_leaves_the_ring(self):
+        ring = ConsistentHashRing(range(5))
+        store = DHTStore(ring)
+        store.fail_node(3)
+        assert 3 not in ring.nodes
+        assert store.keys_on(3) == set()
+
+    def test_reregistration_restores_lost_key(self):
+        ring = ConsistentHashRing(range(5))
+        store = DHTStore(ring, replicas=1)
+        owners = store.put("k", "v")
+        store.fail_node(owners[0])
+        assert store.get("k") is None
+        new_owners = store.put("k", "v2")
+        assert store.get("k") == "v2"
+        assert owners[0] not in new_owners
+
+
+class TestSchemaReResolution:
+    """Schema lookups through the DHT registry after node loss."""
+
+    def _registry(self, replicas):
+        import random
+
+        from repro.cbn.schema_registry import DHTSchemaRegistry
+        from repro.overlay.topology import barabasi_albert
+        from repro.overlay.tree import DisseminationTree
+
+        topology = barabasi_albert(12, 2, random.Random(4))
+        tree = DisseminationTree.minimum_spanning(topology)
+        return DHTSchemaRegistry(tree, replicas=replicas)
+
+    def _schema(self):
+        from repro.cql.schema import Attribute, StreamSchema
+
+        return StreamSchema(
+            "Temp", [Attribute("station", "int", 0, 9)], rate=1.0
+        )
+
+    def test_replicated_lookup_survives_primary_loss(self):
+        registry = self._registry(replicas=2)
+        schema = self._schema()
+        registry.register(schema, 0)
+        primary = registry._store.ring.owners("Temp", 1)[0]
+        registry._store.fail_node(primary)
+        resolved = registry.lookup("Temp", 0)
+        assert resolved == schema
+        # The key re-resolves to a different owner now.
+        assert registry._store.ring.owners("Temp", 1)[0] != primary
+
+    def test_unreplicated_loss_needs_reregistration(self):
+        registry = self._registry(replicas=1)
+        schema = self._schema()
+        registry.register(schema, 0)
+        primary = registry._store.ring.owners("Temp", 1)[0]
+        registry._store.fail_node(primary)
+        assert registry.lookup("Temp", 0) is None
+        registry.register(schema, 0)
+        assert registry.lookup("Temp", 0) == schema

@@ -29,3 +29,45 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestChaosCli:
+    def test_smoke_sweep_passes(self, capsys):
+        assert main(["chaos", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos totals:" in out
+
+    def test_recovery_sweep_reports_convergence(self, capsys, tmp_path):
+        artifact = tmp_path / "rec.json"
+        assert main(
+            ["chaos", "--seeds", "2", "--recovery", "--json", str(artifact)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recovery (converged t=" in out
+        assert "retransmits=" in out
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert payload["ok"] is True
+        assert payload["seeds"][0]["reliability"]["retransmits"] >= 0
+        assert "convergence_time" in payload["seeds"][0]
+
+    def test_sweep_exits_nonzero_when_any_seed_fails(
+        self, capsys, monkeypatch
+    ):
+        # Regression gate: one bad seed in a sweep must fail the whole
+        # invocation (CI keys off the exit code).
+        import repro.sim as sim
+
+        real = sim.run_schedule
+
+        def rigged(config, events):
+            report = real(config, events)
+            if config.seed == 1:
+                report.violations.append("rigged: injected failure")
+            return report
+
+        monkeypatch.setattr(sim, "run_schedule", rigged)
+        assert main(["chaos", "--seeds", "2", "--no-shrink"]) == 1
+        out = capsys.readouterr().out
+        assert "violations=1" in out

@@ -7,7 +7,13 @@ import pytest
 from repro.overlay.topology import Topology, barabasi_albert
 from repro.overlay.tree import DisseminationTree
 from repro.system.cosmos import CosmosSystem
-from repro.system.fault import FaultError, fail_broker, fail_processor, repair_tree
+from repro.system.fault import (
+    FaultError,
+    fail_broker,
+    fail_node,
+    fail_processor,
+    repair_tree,
+)
 from repro.workload.auction import (
     CLOSED_AUCTION_SCHEMA,
     OPEN_AUCTION_SCHEMA,
@@ -189,6 +195,55 @@ class TestRehomingStateCarryOver:
         # The system still works end to end for the survivor.
         publish_pair(system, 3, 0.0, 1800.0)
         assert system.query("q2").result_count >= 1
+
+
+class TestFailNode:
+    def test_plain_broker_falls_through(self, running_system):
+        system, __, __ = running_system
+        protected = {0, 1, 2, 3, 4}
+        victim = next(n for n in system.tree.nodes if n not in protected)
+        assert fail_node(system, victim) == []
+        assert victim not in system.tree
+
+    def test_processor_node_loses_both_roles(self, running_system):
+        system, h1, __ = running_system
+        victim = h1.processor_node
+        rehomed = fail_node(system, victim)
+        assert sorted(rehomed) == ["q1", "q2"]
+        assert victim not in system.processors
+        assert victim not in system.tree
+        # Delivery resumes end to end on the surviving processor.
+        publish_pair(system, 9, 0.0, 1800.0)
+        assert system.query("q1").result_count == 1
+
+    def test_last_processor_still_protected(self, line_tree):
+        system = CosmosSystem(line_tree, processor_nodes=[2])
+        with pytest.raises(FaultError):
+            fail_node(system, 2)
+        # Nothing was torn down: the node keeps both roles.
+        assert 2 in system.processors
+        assert 2 in system.tree
+
+    def test_partial_rehoming_still_removes_the_node(
+        self, running_system, monkeypatch
+    ):
+        system, h1, __ = running_system
+        victim = h1.processor_node
+        original = CosmosSystem.submit
+
+        def flaky(self, query, user_node, name=None):
+            if name == "q1":
+                raise RuntimeError("injected submit failure")
+            return original(self, query, user_node, name=name)
+
+        monkeypatch.setattr(CosmosSystem, "submit", flaky)
+        # The processor layer's partial-failure error survives, but the
+        # broker layer still runs: the node is gone from the tree.
+        with pytest.raises(FaultError, match="q1"):
+            fail_node(system, victim)
+        assert victim not in system.processors
+        assert victim not in system.tree
+        assert system.query("q2").processor_node != victim
 
 
 class TestPublishManyUnderFailure:

@@ -62,6 +62,36 @@ class TestDataLayer:
         assert pressure["routing_entries"] > 0
 
 
+class TestHealth:
+    def test_unmonitored_system_is_trivially_healthy(self, busy_system):
+        health = SystemMonitor(busy_system).health()
+        assert health["retransmits"] == 0
+        assert health["suspected_nodes"] == []
+        assert health["quarantined_queries"] == []
+        assert health["degraded_queries"] == 0
+
+    def test_reliability_state_is_surfaced(self, busy_system):
+        from repro.system.reliability import attach_reliability
+
+        state = attach_reliability(busy_system)
+        state.counters.retransmits = 3
+        state.counters.duplicates_suppressed = 2
+        state.detector.register(7, 0.0)
+        state.detector.check(100.0)
+        state.quarantined["q2"] = 3
+        health = SystemMonitor(busy_system).health()
+        assert health["retransmits"] == 3
+        assert health["duplicates_suppressed"] == 2
+        assert health["suspected_nodes"] == [7]
+        assert health["quarantined_queries"] == ["q2"]
+
+    def test_degraded_queries_counted_from_handles(self, busy_system):
+        from repro.system.cosmos import QueryStatus
+
+        busy_system.query("q1").status = QueryStatus.DEGRADED
+        assert SystemMonitor(busy_system).health()["degraded_queries"] == 1
+
+
 class TestReport:
     def test_report_contains_sections(self, busy_system):
         report = SystemMonitor(busy_system).report()
@@ -74,3 +104,11 @@ class TestReport:
         report = SystemMonitor(system).report()
         assert "Query layer" in report
         assert "Hottest links" not in report  # no traffic yet
+
+    def test_report_has_reliability_section(self, busy_system):
+        from repro.system.reliability import attach_reliability
+
+        attach_reliability(busy_system)
+        report = SystemMonitor(busy_system).report()
+        assert "Reliability" in report
+        assert "retransmits" in report

@@ -19,4 +19,7 @@ python tools/bench_publish.py
 echo "== chaos smoke (seeded fault injection) =="
 PYTHONPATH=src python -m repro chaos --seeds 25 --json BENCH_chaos.json
 
+echo "== chaos recovery smoke (self-healing, exact delivery oracle) =="
+PYTHONPATH=src python -m repro chaos --seeds 25 --recovery --json BENCH_chaos_recovery.json
+
 echo "== ci: all gates passed =="
