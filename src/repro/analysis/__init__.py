@@ -13,6 +13,22 @@ Four check families, each with stable diagnostic codes:
 * ``COS4xx`` — overlay/routing: non-tree overlays, unreachable
   subscribers, orphan routing entries (:mod:`repro.analysis.overlay`).
 
+Three further families lint the package's *own source* instead of a
+workload (``repro check --self``):
+
+* ``COS5xx`` — determinism hazards: entropy, wall clocks, unordered
+  set iteration into ordered sinks, ``id()`` identity
+  (:mod:`repro.analysis.purity`).
+* ``COS6xx`` — protocol contracts: exhaustive enum-status dispatch,
+  exception-safe mutation ordering in event callbacks, capped NACK
+  backoff (:mod:`repro.analysis.protocol`).
+* ``COS7xx`` — style rules migrated from ``tools/lint_repro.py``
+  (:mod:`repro.analysis.style`), keeping one lint implementation.
+
+The driver (:mod:`repro.analysis.selfcheck`) unifies them behind
+pragmas (``# cos: disable=...``), a checked-in baseline, and the
+``--code``/``--json`` CLI surface.
+
 The checker is pure: it never publishes data or runs the SPE.
 """
 
@@ -48,9 +64,51 @@ from repro.analysis.satisfiability import (
     check_predicate,
     check_profile_filters,
 )
+from repro.analysis.protocol import check_protocol, collect_enums
+from repro.analysis.purity import check_purity, collect_set_returning
 from repro.analysis.schema import check_profile, check_query
+from repro.analysis.selfcheck import (
+    check_modules,
+    check_package,
+    check_source_module,
+    default_baseline_path,
+    default_package_dir,
+)
+from repro.analysis.source import (
+    Baseline,
+    PragmaIndex,
+    SourceError,
+    SourceModule,
+    apply_pragmas,
+    load_package,
+    load_source,
+    module_from_text,
+    parse_code_spec,
+    spec_matches,
+)
+from repro.analysis.style import check_style
 
 __all__ = [
+    "Baseline",
+    "PragmaIndex",
+    "SourceError",
+    "SourceModule",
+    "apply_pragmas",
+    "check_modules",
+    "check_package",
+    "check_protocol",
+    "check_purity",
+    "check_source_module",
+    "check_style",
+    "collect_enums",
+    "collect_set_returning",
+    "default_baseline_path",
+    "default_package_dir",
+    "load_package",
+    "load_source",
+    "module_from_text",
+    "parse_code_spec",
+    "spec_matches",
     "BUILTIN_WORKLOADS",
     "CODES",
     "ConstraintSystem",

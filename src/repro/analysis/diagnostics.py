@@ -1,10 +1,13 @@
 """Diagnostics emitted by the static analyzer.
 
 Every finding carries a stable code (``COS1xx`` schema, ``COS2xx``
-satisfiability, ``COS3xx`` plan/merging, ``COS4xx`` overlay/routing), a
-severity, a human-readable message and a *source span*: the logical
-source (a query name, a profile id, a broker node) plus an optional
-character offset into the query text the parser recorded.  Diagnostics
+satisfiability, ``COS3xx`` plan/merging, ``COS4xx`` overlay/routing,
+``COS5xx`` determinism, ``COS6xx`` protocol contracts, ``COS7xx``
+source style), a severity, a human-readable message and a *source
+span*: the logical source (a query name, a profile id, a broker node,
+or — for the source-lint families — a file path) plus an optional
+position (a character offset into the query text for the workload
+families, a line number for the source-lint families).  Diagnostics
 render in the conventional ``file:pos: code message`` form so editors
 and CI logs can link back to the offending span.
 
@@ -53,6 +56,19 @@ CODES = {
     "COS402": (Severity.ERROR, "overlay is not a tree"),
     "COS403": (Severity.WARNING, "orphan routing entry"),
     "COS404": (Severity.WARNING, "stream has no advertised publisher"),
+    # -- COS5xx: determinism hazards (source lint) --------------------------
+    "COS501": (Severity.ERROR, "nondeterministic entropy source"),
+    "COS502": (Severity.ERROR, "wall-clock read in simulated-time code"),
+    "COS503": (Severity.WARNING, "unordered set iteration feeds ordered sink"),
+    "COS504": (Severity.WARNING, "id()-based identity in deterministic subsystem"),
+    # -- COS6xx: protocol contracts (source lint) ---------------------------
+    "COS601": (Severity.ERROR, "non-exhaustive enum-status dispatch"),
+    "COS602": (Severity.WARNING, "shared state mutated before a fallible statement"),
+    "COS603": (Severity.ERROR, "NACK scheduled outside the capped-backoff path"),
+    # -- COS7xx: source style (migrated from tools/lint_repro.py L001-L003) -
+    "COS701": (Severity.ERROR, "mutable default argument"),
+    "COS702": (Severity.ERROR, "bare except"),
+    "COS703": (Severity.WARNING, "missing 'from __future__ import annotations'"),
 }
 
 
@@ -90,6 +106,20 @@ class Diagnostic:
         """``file:pos: code message`` (pos omitted when unknown)."""
         where = self.source if self.pos is None else f"{self.source}:{self.pos}"
         return f"{where}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (the ``repro check --json`` contract).
+
+        ``file`` is the logical source (a file path for the source-lint
+        families), ``line`` its position (a line number there).
+        """
+        return {
+            "file": self.source,
+            "line": self.pos,
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
 
     def __str__(self) -> str:
         return self.render()
@@ -158,6 +188,14 @@ class Report:
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
         )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The ``repro check --json`` payload."""
+        return {
+            "diagnostics": [d.to_dict() for d in self._diagnostics],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+        }
 
     def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self._diagnostics)

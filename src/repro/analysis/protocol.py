@@ -1,0 +1,551 @@
+"""COS6xx — protocol-contract checks over the package's own source.
+
+PR 4's reliability layer is a set of value-level state machines
+(:class:`QueryStatus` lifecycle, sequenced-uplink gap repair, leased
+failure detection).  The chaos harness exercises them dynamically; this
+pass pins three *structural* contracts statically, so a refactor that
+silently weakens one fails ``repro check --self`` before any seed ever
+hits it:
+
+* **COS601 exhaustive dispatch** — an ``if``/``elif`` chain (or
+  ``match``) that dispatches on enum members must either test every
+  member or end in an ``else``/wildcard.  Otherwise adding a member
+  (say ``QueryStatus.REBUILDING``) makes existing handlers fall
+  through *silently*.  Enum classes are extracted from the analyzed
+  module set itself, so the check tracks the code, not a hardcoded
+  member list.  Chains containing a negative test (``is not``/``!=``)
+  or a single guard are not dispatches and are left alone.
+* **COS602 exception-safe ordering** — inside the event-simulator
+  callback modules (``sim/network.py``, ``system/events.py``), shared
+  ``self`` state must not be mutated *before* a statement that can
+  raise: when the later statement throws, the earlier mutation is left
+  half-applied in live protocol state.  "Can raise" is resolved
+  conservatively: explicit ``raise`` statements and calls to functions
+  *in the same module* (``self._method`` / local functions) whose body
+  contains an uncaught ``raise``.
+* **COS603 capped backoff** — any scheduling call
+  (``schedule``/``schedule_in``) whose callback references a
+  NACK-named function must sit in a function that computes a capped
+  delay (a ``min(...)`` over a ``*cap*`` parameter).  Retransmission
+  pressure under loss must stay bounded; a raw, un-capped NACK timer
+  is exactly the regression this forbids.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Report
+from repro.analysis.source import SourceModule
+
+#: Modules whose functions are event-simulator callbacks (COS602).
+DEFAULT_CALLBACK_MODULES = ("sim/network.py", "system/events.py")
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "setdefault",
+    "record",
+}
+
+_SCHEDULE_NAMES = {"schedule", "schedule_in"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# enum extraction
+# ---------------------------------------------------------------------------
+
+
+def collect_enums(modules: Iterable[SourceModule]) -> Dict[str, List[str]]:
+    """Enum classes (name -> member names) across the module set.
+
+    A class is an enum when any base is named ``Enum``/``IntEnum``/
+    ``Flag``/``IntFlag`` (bare or attribute form); members are its
+    class-level ``NAME = value`` assignments with uppercase names.
+    """
+    enums: Dict[str, List[str]] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            is_enum = False
+            for base in node.bases:
+                name = base.attr if isinstance(base, ast.Attribute) else (
+                    base.id if isinstance(base, ast.Name) else ""
+                )
+                if name in ("Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"):
+                    is_enum = True
+            if not is_enum:
+                continue
+            members = []
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id.isupper()
+                ):
+                    members.append(stmt.targets[0].id)
+            if members:
+                enums[node.name] = members
+    return enums
+
+
+# ---------------------------------------------------------------------------
+# COS601 — exhaustive enum dispatch
+# ---------------------------------------------------------------------------
+
+
+def _enum_tests(
+    test: ast.AST, enums: Dict[str, List[str]]
+) -> Optional[Tuple[str, str, Set[str], bool]]:
+    """Decode one branch test against the known enums.
+
+    Returns ``(subject, enum, members, negative)`` when the test
+    compares a single subject against members of one enum; ``None``
+    for anything else (those branches make a chain unclassifiable and
+    it is skipped rather than guessed at).
+    """
+
+    def member_of(node: ast.AST) -> Optional[Tuple[str, str]]:
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            if node.value.id in enums and node.attr in enums[node.value.id]:
+                return node.value.id, node.attr
+        return None
+
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        subject = enum = None
+        members: Set[str] = set()
+        for value in test.values:
+            decoded = _enum_tests(value, enums)
+            if decoded is None or decoded[3]:
+                return None
+            sub, en, mem, _neg = decoded
+            if subject is None:
+                subject, enum = sub, en
+            elif (sub, en) != (subject, enum):
+                return None
+            members |= mem
+        if subject is None or enum is None:
+            return None
+        return subject, enum, members, False
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return None
+    op = test.ops[0]
+    left, right = test.left, test.comparators[0]
+    if isinstance(op, (ast.Is, ast.Eq, ast.IsNot, ast.NotEq)):
+        negative = isinstance(op, (ast.IsNot, ast.NotEq))
+        for subject_node, member_node in ((left, right), (right, left)):
+            decoded = member_of(member_node)
+            if decoded is not None:
+                subject = _dotted(subject_node)
+                if subject is None:
+                    return None
+                return subject, decoded[0], {decoded[1]}, negative
+        return None
+    if isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+        right, (ast.Tuple, ast.List, ast.Set)
+    ):
+        members = set()
+        enum = None
+        for element in right.elts:
+            decoded = member_of(element)
+            if decoded is None:
+                return None
+            if enum is None:
+                enum = decoded[0]
+            elif enum != decoded[0]:
+                return None
+            members.add(decoded[1])
+        subject = _dotted(left)
+        if subject is None or enum is None:
+            return None
+        return subject, enum, members, isinstance(op, ast.NotIn)
+    return None
+
+
+def _chain_branches(
+    head: ast.If,
+) -> Tuple[List[ast.If], bool]:
+    """(branch If nodes of the chain, has a final plain else)."""
+    branches = [head]
+    node = head
+    while len(node.orelse) == 1 and isinstance(node.orelse[0], ast.If):
+        node = node.orelse[0]
+        branches.append(node)
+    return branches, bool(node.orelse)
+
+
+def _check_if_dispatch(
+    module: SourceModule,
+    tree: ast.AST,
+    enums: Dict[str, List[str]],
+    report: Report,
+) -> None:
+    elif_nodes: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and len(node.orelse) == 1 and isinstance(
+            node.orelse[0], ast.If
+        ):
+            elif_nodes.add(id(node.orelse[0]))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If) or id(node) in elif_nodes:
+            continue
+        branches, has_else = _chain_branches(node)
+        decoded = [_enum_tests(branch.test, enums) for branch in branches]
+        tested = [d for d in decoded if d is not None]
+        if len(tested) < 2:
+            continue  # a guard, not a dispatch
+        if any(d is None for d in decoded):
+            continue  # mixed chain: not a pure enum dispatch
+        subjects = {(d[0], d[1]) for d in tested}
+        if len(subjects) != 1:
+            continue
+        if any(d[3] for d in tested):
+            continue  # a negative test covers the complement
+        if has_else:
+            continue
+        ((_subject, enum),) = subjects
+        covered: Set[str] = set()
+        for d in tested:
+            covered |= d[2]
+        missing = [m for m in enums[enum] if m not in covered]
+        if missing:
+            report.add(
+                "COS601",
+                f"dispatch on {enum} never handles "
+                f"{', '.join(missing)}; add the branch or an else",
+                module.rel,
+                node.lineno,
+            )
+
+
+def _check_match_dispatch(
+    module: SourceModule,
+    tree: ast.AST,
+    enums: Dict[str, List[str]],
+    report: Report,
+) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Match):
+            continue
+        covered: Set[str] = set()
+        enum: Optional[str] = None
+        exhaustive = False
+        plain = True
+        for case in node.cases:
+            pattern = case.pattern
+            if isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
+                exhaustive = True  # wildcard / capture-all
+            elif isinstance(pattern, ast.MatchValue):
+                value = pattern.value
+                if (
+                    isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in enums
+                    and value.attr in enums[value.value.id]
+                ):
+                    if enum is None:
+                        enum = value.value.id
+                    elif enum != value.value.id:
+                        plain = False
+                    covered.add(value.attr)
+                else:
+                    plain = False
+            else:
+                plain = False
+        if not plain or exhaustive or enum is None or len(covered) < 2:
+            continue
+        missing = [m for m in enums[enum] if m not in covered]
+        if missing:
+            report.add(
+                "COS601",
+                f"match on {enum} never handles "
+                f"{', '.join(missing)}; add the case or a wildcard",
+                module.rel,
+                node.lineno,
+            )
+
+
+# ---------------------------------------------------------------------------
+# COS602 — mutation before a fallible statement
+# ---------------------------------------------------------------------------
+
+
+def _uncaught_raises(func: ast.AST) -> bool:
+    """Whether ``func`` contains a ``raise`` outside any try/except."""
+    protected: Set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try) and node.handlers:
+            for child in node.body:
+                for sub in ast.walk(child):
+                    protected.add(id(sub))
+    for node in ast.walk(func):
+        if isinstance(node, ast.Raise) and id(node) not in protected:
+            return True
+    return False
+
+
+def _local_raisers(module: SourceModule) -> Set[str]:
+    """Function/method names in this module that raise uncaught."""
+    raisers: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _uncaught_raises(node):
+                raisers.add(node.name)
+    return raisers
+
+
+def _is_self_mutation(stmt: ast.stmt) -> bool:
+    def self_chain(node: ast.AST) -> bool:
+        dotted = _dotted(node)
+        return dotted is not None and dotted.startswith("self.")
+
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                target = target.value
+            if self_chain(target):
+                return True
+        return False
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATORS
+            and self_chain(func.value)
+        ):
+            return True
+    return False
+
+
+def _calls_executed_now(stmt: ast.stmt):
+    """Call nodes in ``stmt`` excluding those inside lambdas (deferred
+    callbacks do not unwind this statement when they raise)."""
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _fallible_call(stmt: ast.stmt, raisers: Set[str]) -> Optional[int]:
+    """Line of the first call in ``stmt`` resolving to a local raiser."""
+    for node in _calls_executed_now(stmt):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in raisers:
+            return node.lineno
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in raisers
+        ):
+            return node.lineno
+    return None
+
+
+def _check_callback_function(
+    module: SourceModule,
+    func: ast.AST,
+    raisers: Set[str],
+    report: Report,
+) -> None:
+    flagged = False
+
+    def visit(
+        body: Sequence[ast.stmt], mutated: bool, shielded: bool
+    ) -> Tuple[bool, bool]:
+        """Scan one statement list; returns (mutated-on-fallthrough,
+        terminated).  A branch ending in return/raise/break/continue
+        does not leak its mutations past the enclosing statement."""
+        nonlocal flagged
+        for stmt in body:
+            if flagged:
+                return mutated, False
+            if isinstance(stmt, ast.Raise):
+                if mutated and not shielded:
+                    report.add(
+                        "COS602",
+                        "raise after mutating shared self state leaves "
+                        "the protocol state half-applied; validate "
+                        "first, mutate last",
+                        module.rel,
+                        stmt.lineno,
+                    )
+                    flagged = True
+                return mutated, True
+            # Try statements are scanned branch-by-branch below: their
+            # body is shielded by the handlers, so a whole-statement
+            # scan would flag protected calls.
+            if mutated and not shielded and not isinstance(stmt, ast.Try):
+                line = _fallible_call(stmt, raisers)
+                if line is not None:
+                    report.add(
+                        "COS602",
+                        "call that can raise runs after shared self "
+                        "state was mutated; reorder so validation "
+                        "precedes mutation",
+                        module.rel,
+                        line,
+                    )
+                    flagged = True
+                    return mutated, False
+            if isinstance(stmt, (ast.Return, ast.Break, ast.Continue)):
+                return mutated, True
+            if _is_self_mutation(stmt):
+                mutated = True
+            if isinstance(stmt, ast.Try):
+                caught = shielded or bool(stmt.handlers)
+                mutated, _term = visit(stmt.body, mutated, caught)
+                for handler in stmt.handlers:
+                    mutated, _term = visit(handler.body, mutated, shielded)
+                mutated, _term = visit(stmt.orelse, mutated, shielded)
+                mutated, _term = visit(stmt.finalbody, mutated, shielded)
+            elif isinstance(stmt, ast.If):
+                after, term = visit(stmt.body, mutated, shielded)
+                after_else, term_else = visit(stmt.orelse, mutated, shielded)
+                # Only fall-through branches contribute their mutations.
+                mutated = (
+                    (after if not term else mutated)
+                    or (after_else if not term_else else mutated)
+                )
+                if term and term_else and stmt.orelse:
+                    return mutated, True
+            elif isinstance(stmt, (ast.For, ast.While)):
+                body_mut, _term = visit(stmt.body, mutated, shielded)
+                else_mut, _term = visit(stmt.orelse, mutated, shielded)
+                mutated = body_mut or else_mut
+            elif isinstance(stmt, ast.With):
+                mutated, _term = visit(stmt.body, mutated, shielded)
+        return mutated, False
+
+    visit(func.body, False, False)
+
+
+def _check_exception_safety(
+    module: SourceModule,
+    callback_modules: Sequence[str],
+    report: Report,
+) -> None:
+    if not any(module.rel.endswith(name) for name in callback_modules):
+        return
+    raisers = _local_raisers(module)
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_callback_function(module, node, raisers, report)
+
+
+# ---------------------------------------------------------------------------
+# COS603 — NACKs must ride the capped-backoff path
+# ---------------------------------------------------------------------------
+
+
+def _references_nack(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and "nack" in name.lower():
+            return True
+    return False
+
+
+def _has_capped_delay(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "min"
+        ):
+            for arg in node.args:
+                for sub in ast.walk(arg):
+                    name = None
+                    if isinstance(sub, ast.Name):
+                        name = sub.id
+                    elif isinstance(sub, ast.Attribute):
+                        name = sub.attr
+                    if name is not None and "cap" in name.lower():
+                        return True
+    return False
+
+
+def _check_nack_backoff(module: SourceModule, report: Report) -> None:
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        capped = _has_capped_delay(func)
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SCHEDULE_NAMES
+            ):
+                continue
+            # Only the *callback* arguments count: the delay expression
+            # legitimately names nack_cap/nack_delay in the capped path.
+            callbacks = list(node.args[1:]) + [
+                kw.value for kw in node.keywords
+            ]
+            if any(_references_nack(arg) for arg in callbacks) and not capped:
+                report.add(
+                    "COS603",
+                    "NACK timer scheduled without a capped backoff "
+                    "(no min(..., *cap*) in this function); route it "
+                    "through the capped-backoff scheduler",
+                    module.rel,
+                    node.lineno,
+                )
+
+
+def check_protocol(
+    module: SourceModule,
+    enums: Optional[Dict[str, List[str]]] = None,
+    callback_modules: Sequence[str] = DEFAULT_CALLBACK_MODULES,
+) -> Report:
+    """Run every COS6xx check over one module.
+
+    ``enums`` is the package-wide enum table from
+    :func:`collect_enums`; when omitted it is rebuilt from this module
+    alone (single-file checks, canaries).
+    """
+    if enums is None:
+        enums = collect_enums([module])
+    report = Report()
+    _check_if_dispatch(module, module.tree, enums, report)
+    _check_match_dispatch(module, module.tree, enums, report)
+    _check_exception_safety(module, callback_modules, report)
+    _check_nack_backoff(module, report)
+    return report

@@ -189,7 +189,8 @@ class UnicastCostModel:
     ) -> float:
         """Total link cost of one query's flows."""
         total = 0.0
-        for stream in set(query.stream_names):
+        # Sorted: float accumulation order must not depend on set order.
+        for stream in sorted(set(query.stream_names)):
             rate = self.source_rate(query, stream)
             total += rate * self._tree.path_weight(
                 source_nodes[stream], processor_node

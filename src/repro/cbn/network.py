@@ -109,7 +109,7 @@ class _StreamFacts:
         if cached is None:
             neighbors = self._neighbors.get(node)
             if neighbors is None:
-                neighbors = tuple(self.tree.neighbors(node))
+                neighbors = tuple(sorted(self.tree.neighbors(node)))
                 self._neighbors[node] = neighbors
             cached = tuple(
                 neighbor
@@ -387,7 +387,7 @@ class ContentBasedNetwork:
         frontier = [sub.node]
         while frontier:
             here = frontier.pop()
-            for neighbor in tree.neighbors(here):
+            for neighbor in sorted(tree.neighbors(here)):
                 if neighbor in seen:
                     continue
                 seen.add(neighbor)
@@ -491,7 +491,7 @@ class ContentBasedNetwork:
             table = self._tables[here]
             for sid, projected in table.local_deliveries(current):
                 deliveries.append(Delivery(sid, here, projected))
-            for neighbor in tree.neighbors(here):
+            for neighbor in sorted(tree.neighbors(here)):
                 if neighbor == arrived_from:
                     continue
                 decision = table.decide(neighbor, current)

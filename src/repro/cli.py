@@ -7,7 +7,8 @@
     python -m repro fig3  [--items N]      # the Figure 3 measurement only
     python -m repro fig4  [--full]         # the Figure 4 sweep only
     python -m repro demo                   # the quickstart scenario + monitor
-    python -m repro check [--workload W] [--strict]   # static analysis
+    python -m repro check [--workload W] [--strict]   # workload static analysis
+    python -m repro check --self [--strict] [--code SPEC] [--json]  # source lint
     python -m repro chaos [--seed N | --seeds N] [--recovery] [--trace] [--json PATH]
 """
 
@@ -44,19 +45,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     chk = sub.add_parser(
         "check", help="statically analyse a workload (schema, satisfiability, "
-        "plans, routing) without running it"
+        "plans, routing) or, with --self, the package's own source"
     )
-    chk.add_argument(
-        "--workload",
-        choices=["auction", "sensorscope", "all"],
-        default="all",
-        help="builtin workload to analyse (default: all)",
-    )
-    chk.add_argument(
-        "--strict",
-        action="store_true",
-        help="treat warnings as failures (exit 1)",
-    )
+    _add_check_flags(chk)
 
     ch = sub.add_parser(
         "chaos",
@@ -102,39 +93,147 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_check_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        choices=["auction", "sensorscope", "all"],
+        default="all",
+        help="builtin workload to analyse (default: all; ignored with --self)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
+    parser.add_argument(
+        "--self",
+        dest="self_lint",
+        action="store_true",
+        help="lint the repro package source itself (COS5xx determinism, "
+        "COS6xx protocol contracts, COS7xx style)",
+    )
+    parser.add_argument(
+        "--code",
+        metavar="SPEC",
+        default=None,
+        help="restrict findings to a comma list of codes or families "
+        "(e.g. COS503 or COS5xx,COS701)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print findings as JSON (file, line, code, severity, message)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline ledger of accepted findings "
+        "(default: tools/cos-baseline.txt when present; --self only)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (--self only)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline path and exit 0",
+    )
+
+
 def run_check(argv: Optional[Sequence[str]] = None) -> int:
     """The ``repro check`` subcommand, also ``python -m repro.analysis``.
 
     Exit codes: 0 clean (or warnings without ``--strict``), 1 warnings
-    under ``--strict``, 2 errors.
+    under ``--strict``, 2 errors (or a usage problem).
     """
     parser = argparse.ArgumentParser(
-        prog="repro check", description="static analysis for COSMOS workloads"
+        prog="repro check",
+        description="static analysis for COSMOS workloads and, with "
+        "--self, the package's own source",
     )
-    parser.add_argument(
-        "--workload", choices=["auction", "sensorscope", "all"], default="all"
-    )
-    parser.add_argument("--strict", action="store_true")
+    _add_check_flags(parser)
     args = parser.parse_args(argv)
-    return _cmd_check(args.workload, args.strict)
+    return _cmd_check(args)
 
 
-def _cmd_check(workload: str, strict: bool) -> int:
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.self_lint:
+        return _cmd_check_self(args)
+    import json
+
     from repro.analysis import BUILTIN_WORKLOADS, Report, analyze_builtin
+    from repro.analysis.source import SourceError, parse_code_spec, spec_matches
 
-    names = list(BUILTIN_WORKLOADS) if workload == "all" else [workload]
+    try:
+        codes = parse_code_spec(args.code) if args.code else None
+    except SourceError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+    names = list(BUILTIN_WORKLOADS) if args.workload == "all" else [args.workload]
     combined = Report()
     for name in names:
         report = analyze_builtin(name)
+        if codes:
+            report = Report(d for d in report if spec_matches(codes, d.code))
         combined.extend(report)
-        status = "clean" if report.is_clean else (
-            f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+        if not args.as_json:
+            status = "clean" if report.is_clean else (
+                f"{len(report.errors)} error(s), "
+                f"{len(report.warnings)} warning(s)"
+            )
+            print(f"workload {name}: {status}")
+    if args.as_json:
+        print(json.dumps(combined.to_dict(), indent=2))
+    else:
+        print(combined.render())
+    return combined.exit_code(args.strict)
+
+
+def _cmd_check_self(args: argparse.Namespace) -> int:
+    """``repro check --self``: the COS5xx/6xx/7xx source lint."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis import (
+        Baseline,
+        SourceError,
+        check_package,
+        default_baseline_path,
+        default_package_dir,
+        parse_code_spec,
+    )
+
+    try:
+        codes = parse_code_spec(args.code) if args.code else None
+        package = default_package_dir()
+        baseline_path = (
+            Path(args.baseline) if args.baseline else default_baseline_path(package)
         )
-        print(f"workload {name}: {status}")
-    rendered = combined.render()
-    if rendered:
-        print(rendered)
-    return combined.exit_code(strict)
+        if args.write_baseline:
+            report, _ = check_package(package, codes=codes)
+            baseline_path.write_text(Baseline.from_report(report).dump())
+            print(f"wrote {len(report)} finding(s) to {baseline_path}")
+            return 0
+        baseline = None
+        if not args.no_baseline and baseline_path.is_file():
+            baseline = Baseline.load(baseline_path)
+        report, forgiven = check_package(package, baseline=baseline, codes=codes)
+    except SourceError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        payload = report.to_dict()
+        payload["forgiven"] = forgiven
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        if forgiven:
+            print(f"{forgiven} baselined finding(s) suppressed")
+    return report.exit_code(args.strict)
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -275,7 +374,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "demo":
         return _cmd_demo()
     if args.command == "check":
-        return _cmd_check(args.workload, args.strict)
+        return _cmd_check(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     return 2

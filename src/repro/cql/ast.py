@@ -285,7 +285,9 @@ class ContinuousQuery:
                 out.append(item)
             elif isinstance(item, Aggregate) and item.arg is not None:
                 out.append(item.arg)
-        for term in self.predicate.referenced_terms():
+        # Sorted: referenced_terms() is a set; the output order feeds
+        # profile composition and diagnostics.
+        for term in sorted(self.predicate.referenced_terms()):
             out.append(AttrRef.parse(term))
         out.extend(self.group_by)
         return out
@@ -354,7 +356,7 @@ class ContinuousQuery:
             else:
                 attr_names = [
                     AttrRef.parse(t).name
-                    for t in self.predicate.referenced_terms()
+                    for t in sorted(self.predicate.referenced_terms())
                     if AttrRef.parse(t).qualifier == ref.name
                 ]
             for attr_name in attr_names:

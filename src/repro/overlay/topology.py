@@ -222,7 +222,7 @@ def barabasi_albert(
         while len(targets) < m:
             pick = rng.choice(attachment_pool)
             targets.add(pick)
-        for target in targets:
+        for target in sorted(targets):
             topo.add_edge(node, target)
             attachment_pool.extend((node, target))
     return topo
@@ -270,7 +270,7 @@ def _patch_connectivity(topo: Topology) -> None:
         frontier = [start]
         while frontier:
             node = frontier.pop()
-            for other in topo.neighbors(node):
+            for other in sorted(topo.neighbors(node)):
                 if other not in seen:
                     seen.add(other)
                     frontier.append(other)

@@ -1,0 +1,74 @@
+"""Regression: ``tools/lint_repro.py`` keeps its CLI contract as a
+thin wrapper over the COS7xx pass (exit 0 clean / 1 findings / 2 no
+package, one ``file:line: code message`` per finding)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+TOOL = REPO_ROOT / "tools" / "lint_repro.py"
+
+
+def _run(*args):
+    return subprocess.run(
+        [sys.executable, str(TOOL), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestLintTool:
+    def test_clean_package_exits_0(self):
+        result = _run()
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "lint_repro: clean" in result.stdout
+
+    def test_missing_package_exits_2(self, tmp_path):
+        result = _run(str(tmp_path))
+        assert result.returncode == 2
+        assert "no package" in result.stderr
+
+    def test_findings_exit_1_with_cos7_codes(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "def f(x=[]):\n"
+            "    try:\n"
+            "        pass\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        result = _run(str(tmp_path))
+        assert result.returncode == 1
+        assert "src/repro/bad.py:1: COS701" in result.stdout
+        assert "src/repro/bad.py:4: COS702" in result.stdout
+        assert "src/repro/bad.py:1: COS703" in result.stdout
+        assert "3 finding(s)" in result.stdout
+
+    def test_wrapper_ignores_pragmas(self, tmp_path):
+        # The wrapper reports raw findings, as the standalone lint did;
+        # pragma handling belongs to `repro check --self`.
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "from __future__ import annotations\n"
+            "def f(x=[]):  # cos: disable=COS701\n"
+            "    pass\n"
+        )
+        result = _run(str(tmp_path))
+        assert result.returncode == 1
+        assert "COS701" in result.stdout
+
+    def test_wrapper_reports_only_style_family(self, tmp_path):
+        # A determinism hazard is out of the wrapper's scope.
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "clock.py").write_text(
+            "from __future__ import annotations\n"
+            "import time\n"
+            "t = time.time()\n"
+        )
+        result = _run(str(tmp_path))
+        assert result.returncode == 0, result.stdout
+        assert "COS502" not in result.stdout

@@ -1,0 +1,268 @@
+"""COS6xx protocol-contract pass: dispatch, exception safety, backoff."""
+
+from repro.analysis.protocol import check_protocol, collect_enums
+from repro.analysis.source import module_from_text
+
+_STATUS_ENUM = (
+    "import enum\n"
+    "class QueryStatus(enum.Enum):\n"
+    "    ACTIVE = 'active'\n"
+    "    DEGRADED = 'degraded'\n"
+    "    QUARANTINED = 'quarantined'\n"
+)
+
+
+def _codes(text, rel="repro/system/queries.py", enums=None):
+    module = module_from_text(text, rel)
+    return check_protocol(module, enums).codes()
+
+
+class TestCollectEnums:
+    def test_members_in_declaration_order(self):
+        module = module_from_text(_STATUS_ENUM, "repro/system/queries.py")
+        enums = collect_enums([module])
+        assert enums == {
+            "QueryStatus": ["ACTIVE", "DEGRADED", "QUARANTINED"]
+        }
+
+    def test_non_enum_classes_ignored(self):
+        module = module_from_text(
+            "class C:\n    ACTIVE = 1\n", "repro/a.py"
+        )
+        assert collect_enums([module]) == {}
+
+
+class TestEnumDispatch:
+    def test_incomplete_chain_flagged(self):
+        text = _STATUS_ENUM + (
+            "def handle(self, status):\n"
+            "    if status is QueryStatus.ACTIVE:\n"
+            "        return 1\n"
+            "    elif status is QueryStatus.DEGRADED:\n"
+            "        return 2\n"
+        )
+        assert _codes(text) == ["COS601"]
+
+    def test_complete_chain_clean(self):
+        text = _STATUS_ENUM + (
+            "def handle(self, status):\n"
+            "    if status is QueryStatus.ACTIVE:\n"
+            "        return 1\n"
+            "    elif status is QueryStatus.DEGRADED:\n"
+            "        return 2\n"
+            "    elif status is QueryStatus.QUARANTINED:\n"
+            "        return 3\n"
+        )
+        assert _codes(text) == []
+
+    def test_else_branch_covers_the_rest(self):
+        text = _STATUS_ENUM + (
+            "def handle(self, status):\n"
+            "    if status is QueryStatus.ACTIVE:\n"
+            "        return 1\n"
+            "    elif status is QueryStatus.DEGRADED:\n"
+            "        return 2\n"
+            "    else:\n"
+            "        return 3\n"
+        )
+        assert _codes(text) == []
+
+    def test_single_guard_is_not_a_dispatch(self):
+        text = _STATUS_ENUM + (
+            "def handle(self, status):\n"
+            "    if status is QueryStatus.ACTIVE:\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        assert _codes(text) == []
+
+    def test_negative_test_covers_complement(self):
+        text = _STATUS_ENUM + (
+            "def handle(self, status):\n"
+            "    if status is not QueryStatus.ACTIVE:\n"
+            "        return 0\n"
+            "    elif status is QueryStatus.ACTIVE:\n"
+            "        return 1\n"
+        )
+        assert _codes(text) == []
+
+    def test_membership_tuple_counts_as_coverage(self):
+        text = _STATUS_ENUM + (
+            "def handle(self, status):\n"
+            "    if status in (QueryStatus.ACTIVE, QueryStatus.DEGRADED):\n"
+            "        return 1\n"
+            "    elif status is QueryStatus.QUARANTINED:\n"
+            "        return 2\n"
+        )
+        assert _codes(text) == []
+
+    def test_or_branches_count_as_coverage(self):
+        text = _STATUS_ENUM + (
+            "def handle(self, status):\n"
+            "    if status is QueryStatus.ACTIVE or "
+            "status is QueryStatus.DEGRADED:\n"
+            "        return 1\n"
+            "    elif status is QueryStatus.QUARANTINED:\n"
+            "        return 2\n"
+        )
+        assert _codes(text) == []
+
+    def test_mixed_chain_left_alone(self):
+        text = _STATUS_ENUM + (
+            "def handle(self, status, other):\n"
+            "    if status is QueryStatus.ACTIVE:\n"
+            "        return 1\n"
+            "    elif other:\n"
+            "        return 2\n"
+            "    elif status is QueryStatus.DEGRADED:\n"
+            "        return 3\n"
+        )
+        assert _codes(text) == []
+
+    def test_package_wide_enum_table(self):
+        enum_module = module_from_text(_STATUS_ENUM, "repro/system/queries.py")
+        dispatch = (
+            "def handle(self, status):\n"
+            "    if status is QueryStatus.ACTIVE:\n"
+            "        return 1\n"
+            "    elif status is QueryStatus.DEGRADED:\n"
+            "        return 2\n"
+        )
+        enums = collect_enums([enum_module])
+        assert _codes(dispatch, enums=enums) == ["COS601"]
+
+    def test_match_statement_flagged_and_wildcard_clean(self):
+        text = _STATUS_ENUM + (
+            "def handle(self, status):\n"
+            "    match status:\n"
+            "        case QueryStatus.ACTIVE:\n"
+            "            return 1\n"
+            "        case QueryStatus.DEGRADED:\n"
+            "            return 2\n"
+        )
+        assert _codes(text) == ["COS601"]
+        text_with_wildcard = text + "        case _:\n            return 3\n"
+        assert _codes(text_with_wildcard) == []
+
+
+_CALLBACK_REL = "repro/sim/network.py"
+
+
+class TestExceptionSafety:
+    def test_mutation_before_local_raiser_flagged(self):
+        text = (
+            "class Broker:\n"
+            "    def _validate(self, item):\n"
+            "        if item is None:\n"
+            "            raise ValueError('bad')\n"
+            "    def deliver(self, item):\n"
+            "        self.pending.append(item)\n"
+            "        self._validate(item)\n"
+        )
+        assert _codes(text, rel=_CALLBACK_REL) == ["COS602"]
+
+    def test_validate_first_mutate_last_clean(self):
+        text = (
+            "class Broker:\n"
+            "    def _validate(self, item):\n"
+            "        if item is None:\n"
+            "            raise ValueError('bad')\n"
+            "    def deliver(self, item):\n"
+            "        self._validate(item)\n"
+            "        self.pending.append(item)\n"
+        )
+        assert _codes(text, rel=_CALLBACK_REL) == []
+
+    def test_raise_after_mutation_flagged(self):
+        text = (
+            "class Broker:\n"
+            "    def deliver(self, item):\n"
+            "        self.count += 1\n"
+            "        if item is None:\n"
+            "            raise ValueError('bad')\n"
+        )
+        assert _codes(text, rel=_CALLBACK_REL) == ["COS602"]
+
+    def test_try_except_shields_the_mutation(self):
+        text = (
+            "class Broker:\n"
+            "    def _validate(self, item):\n"
+            "        raise ValueError('bad')\n"
+            "    def deliver(self, item):\n"
+            "        self.pending.append(item)\n"
+            "        try:\n"
+            "            self._validate(item)\n"
+            "        except ValueError:\n"
+            "            pass\n"
+        )
+        assert _codes(text, rel=_CALLBACK_REL) == []
+
+    def test_deferred_lambda_is_not_fallible_now(self):
+        text = (
+            "class Broker:\n"
+            "    def _repair(self, node):\n"
+            "        raise RuntimeError('boom')\n"
+            "    def deliver(self, sim, node):\n"
+            "        self.count += 1\n"
+            "        sim.schedule_in(1.0, lambda: self._repair(node))\n"
+        )
+        assert _codes(text, rel=_CALLBACK_REL) == []
+
+    def test_terminated_branch_does_not_leak_mutation(self):
+        text = (
+            "class Broker:\n"
+            "    def _degrade(self, node):\n"
+            "        raise RuntimeError('boom')\n"
+            "    def deliver(self, node, ok):\n"
+            "        if ok:\n"
+            "            self.count += 1\n"
+            "            return\n"
+            "        self._degrade(node)\n"
+        )
+        assert _codes(text, rel=_CALLBACK_REL) == []
+
+    def test_only_callback_modules_checked(self):
+        text = (
+            "class Broker:\n"
+            "    def _validate(self, item):\n"
+            "        raise ValueError('bad')\n"
+            "    def deliver(self, item):\n"
+            "        self.pending.append(item)\n"
+            "        self._validate(item)\n"
+        )
+        assert _codes(text, rel="repro/experiments/fig3.py") == []
+
+
+class TestNackBackoff:
+    def test_uncapped_nack_timer_flagged(self):
+        text = (
+            "class Uplink:\n"
+            "    def _arm(self, sim, seq):\n"
+            "        sim.schedule_in(self.delay, lambda: self._send_nack(seq))\n"
+        )
+        assert _codes(text, rel="repro/system/uplink.py") == ["COS603"]
+
+    def test_capped_delay_in_function_clean(self):
+        text = (
+            "class Uplink:\n"
+            "    def _arm(self, sim, seq, attempt):\n"
+            "        delay = min(self.base * 2 ** attempt, self.nack_cap)\n"
+            "        sim.schedule_in(delay, lambda: self._send_nack(seq))\n"
+        )
+        assert _codes(text, rel="repro/system/uplink.py") == []
+
+    def test_nack_in_delay_expression_not_a_callback(self):
+        text = (
+            "class Uplink:\n"
+            "    def _give_up(self, sim, seq):\n"
+            "        sim.schedule_in(self.nack_cap, lambda: self._abandon(seq))\n"
+        )
+        assert _codes(text, rel="repro/system/uplink.py") == []
+
+    def test_non_nack_callbacks_clean(self):
+        text = (
+            "class Detector:\n"
+            "    def _arm(self, sim):\n"
+            "        sim.schedule_in(self.period, lambda: self._sweep())\n"
+        )
+        assert _codes(text, rel="repro/system/detector.py") == []

@@ -10,6 +10,9 @@ python tools/lint_repro.py
 echo "== repro check =="
 PYTHONPATH=src python -m repro check
 
+echo "== repro check --self (COS5xx/6xx/7xx source lint) =="
+PYTHONPATH=src python -m repro check --self --strict
+
 echo "== tier-1 tests =="
 PYTHONPATH=src:. python -m pytest -x -q
 

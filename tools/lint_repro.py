@@ -1,87 +1,26 @@
 #!/usr/bin/env python3
-"""A tiny stdlib-ast lint for ``src/repro/**``.
+"""Thin wrapper over the COS7xx style pass for ``src/repro/**``.
 
-Three rules, all of which have bitten stream-processing code before:
-
-* **L001 mutable default argument** — a ``def f(x=[])`` default is
-  created once and shared across calls; routing tables and profile
-  lists silently accumulate state.
-* **L002 bare except** — ``except:`` catches ``KeyboardInterrupt`` and
-  ``SystemExit`` too, hanging long-running broker loops.
-* **L003 missing future annotations** — every module in the package
-  imports ``from __future__ import annotations`` so forward references
-  in the layered API stay cheap and consistent.
-
-Usage::
+The three original rules (L001 mutable default argument, L002 bare
+except, L003 missing ``from __future__ import annotations``) migrated
+into the analyzer package as COS701-COS703 (see
+``repro.analysis.style``), so there is exactly one lint
+implementation; this script survives for its command-line contract::
 
     python tools/lint_repro.py [root]
 
-Exits 0 when clean, 1 with one ``file:line: code message`` per finding.
+Exits 0 when clean, 1 with one ``file:line: code message`` per
+finding, 2 when ``root`` holds no ``src/repro`` package.  Pragmas and
+the baseline are deliberately *not* applied here — the wrapper reports
+raw COS7xx findings exactly as the old standalone lint did; use
+``repro check --self`` for the full pipeline.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
-
-Finding = Tuple[Path, int, str, str]
-
-MUTABLE_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
-
-
-def _mutable_defaults(tree: ast.AST) -> Iterator[Tuple[int, str]]:
-    for node in ast.walk(tree):
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        defaults = list(node.args.defaults) + [
-            d for d in node.args.kw_defaults if d is not None
-        ]
-        for default in defaults:
-            if isinstance(default, MUTABLE_NODES):
-                yield (
-                    default.lineno,
-                    f"mutable default argument in {node.name}()",
-                )
-            elif (
-                isinstance(default, ast.Call)
-                and isinstance(default.func, ast.Name)
-                and default.func.id in ("list", "dict", "set")
-            ):
-                yield (
-                    default.lineno,
-                    f"mutable default argument in {node.name}()",
-                )
-
-
-def _bare_excepts(tree: ast.AST) -> Iterator[Tuple[int, str]]:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ExceptHandler) and node.type is None:
-            yield node.lineno, "bare except: catches SystemExit/KeyboardInterrupt"
-
-
-def _has_future_annotations(tree: ast.Module) -> bool:
-    for node in tree.body:
-        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
-            if any(alias.name == "annotations" for alias in node.names):
-                return True
-    return False
-
-
-def lint_file(path: Path) -> List[Finding]:
-    source = path.read_text()
-    tree = ast.parse(source, filename=str(path))
-    findings: List[Finding] = []
-    for line, message in _mutable_defaults(tree):
-        findings.append((path, line, "L001", message))
-    for line, message in _bare_excepts(tree):
-        findings.append((path, line, "L002", message))
-    if source.strip() and not _has_future_annotations(tree):
-        findings.append(
-            (path, 1, "L003", "missing 'from __future__ import annotations'")
-        )
-    return findings
+from typing import List
 
 
 def main(argv: List[str]) -> int:
@@ -90,13 +29,18 @@ def main(argv: List[str]) -> int:
     if not package.is_dir():
         print(f"lint_repro: no package at {package}", file=sys.stderr)
         return 2
-    findings: List[Finding] = []
-    for path in sorted(package.rglob("*.py")):
-        findings.extend(lint_file(path))
-    for path, line, code, message in findings:
-        print(f"{path.relative_to(root)}:{line}: {code} {message}")
-    if findings:
-        print(f"{len(findings)} finding(s)")
+    # The analyzer ships next to this tool; `root` only picks the lint
+    # target, so a scratch tree must not shadow the real package.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis import check_package
+
+    report, _ = check_package(
+        package, base=root, codes=["COS7xx"], respect_pragmas=False
+    )
+    for diag in report:
+        print(diag.render())
+    if len(report):
+        print(f"{len(report)} finding(s)")
         return 1
     print(f"lint_repro: clean ({sum(1 for _ in package.rglob('*.py'))} files)")
     return 0
