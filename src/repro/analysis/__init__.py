@@ -24,6 +24,14 @@ workload (``repro check --self``):
   backoff (:mod:`repro.analysis.protocol`).
 * ``COS7xx`` — style rules migrated from ``tools/lint_repro.py``
   (:mod:`repro.analysis.style`), keeping one lint implementation.
+* ``COS8xx`` — protocol models extracted package-wide: the message
+  flow graph (:mod:`repro.analysis.flowgraph`: produced-but-unconsumed
+  kinds, handlers without producers, sequencing-bypass sends) and the
+  lifecycle state machines (:mod:`repro.analysis.lifecycle`:
+  unreachable/unproduced/stuck states).  The extracted machines double
+  as a dynamic oracle: :mod:`repro.analysis.conformance` replays chaos
+  traces against them (``repro chaos --conform``), and ``repro flow``
+  dumps the model as JSON/DOT.
 
 The driver (:mod:`repro.analysis.selfcheck`) unifies them behind
 pragmas (``# cos: disable=...``), a checked-in baseline, and the
@@ -50,7 +58,21 @@ from repro.analysis.diagnostics import (
     Report,
     Severity,
 )
+from repro.analysis.conformance import conformance_violations
+from repro.analysis.flowgraph import (
+    FlowGraph,
+    MessageKind,
+    check_flowgraph,
+    extract_flowgraph,
+)
 from repro.analysis.intervals import ConstraintSystem, implies, is_unsatisfiable, solve
+from repro.analysis.lifecycle import (
+    MachineSpec,
+    StateMachine,
+    Transition,
+    check_lifecycle,
+    extract_lifecycle,
+)
 from repro.analysis.overlay import (
     check_network,
     check_overlay_graph,
@@ -94,6 +116,8 @@ __all__ = [
     "SourceError",
     "SourceModule",
     "apply_pragmas",
+    "check_flowgraph",
+    "check_lifecycle",
     "check_modules",
     "check_package",
     "check_protocol",
@@ -102,6 +126,9 @@ __all__ = [
     "check_style",
     "collect_enums",
     "collect_set_returning",
+    "conformance_violations",
+    "extract_flowgraph",
+    "extract_lifecycle",
     "default_baseline_path",
     "default_package_dir",
     "load_package",
@@ -114,8 +141,13 @@ __all__ = [
     "ConstraintSystem",
     "Diagnostic",
     "DiagnosticError",
+    "FlowGraph",
+    "MachineSpec",
+    "MessageKind",
     "Report",
     "Severity",
+    "StateMachine",
+    "Transition",
     "Workload",
     "analyze_builtin",
     "analyze_query",

@@ -1,0 +1,265 @@
+"""Conformance: replay chaos traces against the extracted machines.
+
+:mod:`repro.analysis.lifecycle` extracts the protocol state machines
+*statically*; this module turns them into a *dynamic* oracle.  Every
+record a chaos run writes into its :class:`ChaosTrace` names an entity
+(a ``(stream, seq)`` slot of the uplink protocol, a node under
+supervision, a quarantined query) and an observable transition label.
+Conformance replays the trace per entity as an NFA walk over the
+corresponding machine: the entity's possible-state set is advanced
+through each observed label (after closing over the machine's internal
+ε-labels — ``gap_detect`` and ``release`` happen inside the receiver
+and never appear in the trace); if the set ever empties, the run
+exhibited a transition the model does not contain and the check fails.
+
+On top of the per-entity walks, recovery counters are cross-checked
+against the trace: a counter that disagrees with the number of records
+that should have produced it means either the trace or the counter is
+lying.  Inequalities are used exactly where the code has silent paths
+(an immediate abandon bumps ``nacks_sent`` without a ``nack`` record;
+``_force_flush`` abandons without an ``abandon`` record).
+
+Wired into ``repro chaos --conform``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lifecycle import StateMachine
+
+#: Labels that are internal receiver steps, closed over before every
+#: observed transition (per machine).
+EPSILON_LABELS: Dict[str, Tuple[str, ...]] = {
+    "uplink-receiver": ("gap_detect", "release"),
+}
+
+_INJECT = re.compile(
+    r"^inject t=\S+ (?P<stream>\S+)\[.*\](?P<dup> dup)?(?: seq=(?P<seq>\d+))?"
+    r" -> \d+ (?P<what>deliveries|released)(?P<sup> suppressed)?$"
+)
+_DROP = re.compile(r"^drop t=\S+ (?P<stream>\S+)(?: seq=(?P<seq>\d+))?$")
+_PUNCT = re.compile(
+    r"^punct t=\S+ \S+ seq<=\d+(?: -> \d+ gaps)?$"
+)
+_NACK = re.compile(
+    r"^nack t=\S+ (?P<stream>\S+) seq=(?P<seq>\d+) attempt=(?P<attempt>\d+)$"
+)
+_RETRANSMIT = re.compile(
+    r"^retransmit t=\S+ (?P<stream>\S+) seq=(?P<seq>\d+)"
+    r" -> \d+ released(?P<sup> suppressed)?$"
+)
+_ABANDON = re.compile(
+    r"^abandon t=\S+ (?P<stream>\S+) seq=(?P<seq>\d+) -> \d+ released$"
+)
+_FAIL = re.compile(
+    r"^fail_\w+ t=\S+ node=(?P<node>\d+) -> (?P<outcome>crashed|applied|refused.*)$"
+)
+_SUSPECT = re.compile(r"^suspect t=\S+ node=(?P<node>\d+)$")
+_REPAIR = re.compile(
+    r"^repair t=\S+ fail_\w+ node=(?P<node>\d+) -> (?P<outcome>"
+    r"applied|degraded \[(?P<queries>.*)\]|retry \d+ .*|gave up .*)$"
+)
+_FLUSH = re.compile(r"^flush \d+ tuples -> \d+ deliveries$")
+
+
+class _Walker:
+    """NFA walk of one machine, one possible-state set per entity."""
+
+    def __init__(self, machine: StateMachine) -> None:
+        self.machine = machine
+        self.epsilon = EPSILON_LABELS.get(machine.name, ())
+        self._possible: Dict[str, Set[str]] = {}
+
+    def _closure(self, states: Set[str]) -> Set[str]:
+        seen = set(states)
+        frontier = sorted(states)
+        while frontier:
+            state = frontier.pop()
+            for t in self.machine.transitions:
+                if (
+                    t.label in self.epsilon
+                    and t.source == state
+                    and t.target not in seen
+                ):
+                    seen.add(t.target)
+                    frontier.append(t.target)
+        return seen
+
+    def step(self, entity: str, label: str) -> Optional[str]:
+        """Advance ``entity`` through ``label``; a violation string when
+        the model admits no such transition from any possible state."""
+        possible = self._possible.get(entity)
+        if possible is None:
+            possible = set(self.machine.initial)
+        closure = self._closure(possible)
+        nxt = {
+            t.target
+            for t in self.machine.transitions
+            if t.label == label and t.source in closure
+        }
+        if not nxt:
+            return (
+                f"machine {self.machine.name}: entity {entity} observed "
+                f"transition {label!r} from possible states "
+                f"{sorted(closure)} — not in the extracted model"
+            )
+        self._possible[entity] = nxt
+        return None
+
+
+def _machine(machines: Sequence[StateMachine], name: str) -> StateMachine:
+    for machine in machines:
+        if machine.name == name:
+            return machine
+    raise KeyError(f"no extracted machine named {name!r}")
+
+
+def conformance_violations(
+    trace_lines: Sequence[str],
+    machines: Sequence[StateMachine],
+    reliability: Optional[Mapping[str, int]] = None,
+    recovery: bool = False,
+) -> List[str]:
+    """Every way the observed run disagrees with the extracted model.
+
+    ``trace_lines`` is the rendered :class:`ChaosTrace` (one record per
+    line); ``reliability`` the recovery counters snapshot when the run
+    had ``recovery`` on.  Returns an empty list when the run conforms.
+    """
+    violations: List[str] = []
+    uplink = _Walker(_machine(machines, "uplink-receiver"))
+    nodes = _Walker(_machine(machines, "node-supervision"))
+    status = _Walker(_machine(machines, "QueryStatus"))
+    last_attempt: Dict[Tuple[str, str], int] = {}
+    counts = {
+        "suppressed": 0,
+        "retransmit": 0,
+        "nack": 0,
+        "abandon": 0,
+        "suspect": 0,
+        "repair_applied": 0,
+        "quarantined": 0,
+    }
+
+    def walk(walker: _Walker, entity: str, label: str) -> None:
+        violation = walker.step(entity, label)
+        if violation is not None:
+            violations.append(violation)
+
+    for line in trace_lines:
+        line = line.strip()
+        if not line:
+            continue
+        m = _INJECT.match(line)
+        if m is not None:
+            if m.group("what") == "released" and m.group("seq") is not None:
+                slot = f"{m.group('stream')}#{m.group('seq')}"
+                if m.group("sup"):
+                    counts["suppressed"] += 1
+                    walk(uplink, slot, "duplicate")
+                else:
+                    walk(uplink, slot, "arrive")
+            continue
+        m = _DROP.match(line)
+        if m is not None:
+            if m.group("seq") is not None:
+                walk(uplink, f"{m.group('stream')}#{m.group('seq')}", "drop")
+            continue
+        if _PUNCT.match(line) or _FLUSH.match(line):
+            # Punctuation only triggers internal gap_detect steps (the
+            # ε-closure covers them); flush is a transport batch marker.
+            continue
+        m = _NACK.match(line)
+        if m is not None:
+            slot = f"{m.group('stream')}#{m.group('seq')}"
+            counts["nack"] += 1
+            attempt = int(m.group("attempt"))
+            key = (m.group("stream"), m.group("seq"))
+            expected = last_attempt.get(key, 0) + 1
+            if attempt != expected:
+                violations.append(
+                    f"machine uplink-receiver: entity {slot} NACK attempt "
+                    f"{attempt} observed, expected {expected} (capped "
+                    "backoff must count contiguously)"
+                )
+            last_attempt[key] = attempt
+            walk(uplink, slot, "nack")
+            continue
+        m = _RETRANSMIT.match(line)
+        if m is not None:
+            slot = f"{m.group('stream')}#{m.group('seq')}"
+            counts["retransmit"] += 1
+            if m.group("sup"):
+                counts["suppressed"] += 1
+                walk(uplink, slot, "duplicate")
+            else:
+                walk(uplink, slot, "retransmit")
+            continue
+        m = _ABANDON.match(line)
+        if m is not None:
+            counts["abandon"] += 1
+            walk(uplink, f"{m.group('stream')}#{m.group('seq')}", "abandon")
+            continue
+        m = _FAIL.match(line)
+        if m is not None:
+            outcome = m.group("outcome")
+            if outcome == "crashed":
+                label = "crash"
+            elif outcome == "applied":
+                label = "fail_applied"
+            else:
+                label = "fail_refused"
+            walk(nodes, m.group("node"), label)
+            continue
+        m = _SUSPECT.match(line)
+        if m is not None:
+            counts["suspect"] += 1
+            walk(nodes, m.group("node"), "suspect")
+            continue
+        m = _REPAIR.match(line)
+        if m is not None:
+            outcome = m.group("outcome")
+            if outcome == "applied":
+                counts["repair_applied"] += 1
+                walk(nodes, m.group("node"), "repair_applied")
+            elif outcome.startswith("degraded"):
+                walk(nodes, m.group("node"), "degraded")
+                names = m.group("queries")
+                if names and names != "-":
+                    for query in names.split(","):
+                        counts["quarantined"] += 1
+                        walk(status, query, "quarantine_partitioned")
+            elif outcome.startswith("retry"):
+                walk(nodes, m.group("node"), "repair_retry")
+            else:
+                walk(nodes, m.group("node"), "gave_up")
+            continue
+        violations.append(f"unrecognized trace record: {line!r}")
+
+    if recovery and reliability is not None:
+        checks = [
+            # (counter, observed, exact?) — inequalities only where the
+            # code has a silent path (see module docstring).
+            ("duplicates_suppressed", counts["suppressed"], True),
+            ("retransmits", counts["retransmit"], True),
+            ("nacks_sent", counts["nack"], False),
+            ("gaps_abandoned", counts["abandon"], False),
+            ("nodes_suspected", counts["suspect"], True),
+            ("repairs_applied", counts["repair_applied"], True),
+            ("queries_quarantined", counts["quarantined"], True),
+        ]
+        for name, observed, exact in checks:
+            recorded = reliability.get(name)
+            if recorded is None:
+                continue
+            ok = recorded == observed if exact else recorded >= observed
+            if not ok:
+                op = "==" if exact else ">="
+                violations.append(
+                    f"counter {name}={recorded} disagrees with trace "
+                    f"({name} {op} {observed} expected from "
+                    f"{observed} matching record(s))"
+                )
+    return violations

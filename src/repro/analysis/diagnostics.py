@@ -69,6 +69,15 @@ CODES = {
     "COS701": (Severity.ERROR, "mutable default argument"),
     "COS702": (Severity.ERROR, "bare except"),
     "COS703": (Severity.WARNING, "missing 'from __future__ import annotations'"),
+    "COS704": (Severity.WARNING, "stale baseline entry"),
+    # -- COS80x: message flow (source lint) ---------------------------------
+    "COS801": (Severity.ERROR, "message kind produced but never consumed"),
+    "COS802": (Severity.WARNING, "protocol handler has no producing call site"),
+    "COS803": (Severity.ERROR, "send site bypasses the sequencing layer"),
+    # -- COS81x: lifecycle state machines (source lint) ---------------------
+    "COS811": (Severity.WARNING, "lifecycle state unreachable from initial"),
+    "COS812": (Severity.ERROR, "lifecycle state/transition with no producing code path"),
+    "COS813": (Severity.ERROR, "lifecycle state has no exit where one is required"),
 }
 
 

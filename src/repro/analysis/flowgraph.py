@@ -1,0 +1,497 @@
+"""COS80x — static message-flow extraction over the package source.
+
+The chaos harness moves three kinds of messages that never meet a type
+checker: *chaos events* (``InjectEvent`` et al.) dispatched by
+``isinstance`` chains, *timer callbacks* handed to the event
+simulator's ``schedule``/``schedule_in``, and the *protocol surface*
+of the reliability/CBN layers (NACK offers, heartbeats, quarantine and
+heal signals) invoked dynamically by the supervisor.  This pass
+extracts that message-flow graph from source — every produced kind
+mapped to its consuming handler — so a refactor that orphans one side
+fails ``repro check --self`` instead of a chaos seed:
+
+* **COS801 unconsumed message kind** — a kind with at least one
+  producing site and no consuming handler anywhere in the package
+  (e.g. the ``isinstance`` branch for an event class was deleted, or a
+  timer targets a method that no longer exists).
+* **COS802 unreachable handler** — a consuming handler no site ever
+  produces for: an ``isinstance`` dispatch on an event class never
+  constructed, or a public protocol method with no call site in the
+  package.
+* **COS803 sequencing bypass** — a ``publish``/``publish_many`` call
+  in a send module that neither carries a ``seq=`` keyword nor sits
+  behind a ``recovery`` guard: in recovery mode such a tuple skips the
+  sequenced uplink entirely, so drops on that path can never heal.
+
+Kinds are named ``event:<Class>``, ``timer:<method>`` and
+``proto:<Class>.<method>`` / ``proto:<function>``.  ``repro flow``
+dumps the model as JSON/DOT; the extraction itself is pure AST work.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import Report
+from repro.analysis.source import SourceModule
+
+#: (file, line) of one producing or consuming site.
+Site = Tuple[str, int]
+
+#: Modules whose ``publish``/``publish_many`` calls must either carry a
+#: ``seq=`` keyword or sit behind a ``recovery`` guard (COS803).
+DEFAULT_SEND_MODULES = ("sim/network.py",)
+
+#: Protocol classes whose public methods form message/control surface:
+#: module suffix -> class names.  Calls are matched package-wide by
+#: attribute name, so the producers are an over-approximation — which
+#: is the right direction for an *unreachable handler* check.
+DEFAULT_PROTOCOL_CLASSES: Dict[str, Tuple[str, ...]] = {
+    "system/reliability.py": (
+        "SequencedUplink",
+        "UplinkReceiver",
+        "FailureDetector",
+        "ReliabilityState",
+    ),
+    "cbn/network.py": ("ContentBasedNetwork",),
+    "system/events.py": ("EventSimulator",),
+}
+
+#: Module-level protocol functions (quarantine/heal control signals).
+DEFAULT_PROTOCOL_FUNCTIONS: Dict[str, Tuple[str, ...]] = {
+    "system/reliability.py": (
+        "attach_reliability",
+        "quarantine_partitioned",
+        "heal_partition",
+    ),
+}
+
+_SCHEDULE_NAMES = {"schedule", "schedule_in"}
+_SEND_NAMES = {"publish", "publish_many"}
+
+
+@dataclass
+class MessageKind:
+    """One message/control kind with its producing and consuming sites."""
+
+    kind: str
+    producers: List[Site] = field(default_factory=list)
+    consumers: List[Site] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "producers": [list(site) for site in self.producers],
+            "consumers": [list(site) for site in self.consumers],
+        }
+
+
+@dataclass
+class FlowGraph:
+    """The extracted message-flow model of the package."""
+
+    kinds: Dict[str, MessageKind] = field(default_factory=dict)
+
+    def kind(self, name: str) -> MessageKind:
+        if name not in self.kinds:
+            self.kinds[name] = MessageKind(name)
+        return self.kinds[name]
+
+    @property
+    def message_kinds(self) -> List[MessageKind]:
+        return [self.kinds[name] for name in sorted(self.kinds)]
+
+    def to_dict(self) -> dict:
+        return {"messages": [k.to_dict() for k in self.message_kinds]}
+
+
+def _is_exception_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if name.endswith(("Error", "Exception", "Warning")):
+            return True
+    return False
+
+
+def _has_decorator(node: ast.AST, name: str) -> bool:
+    for deco in getattr(node, "decorator_list", ()):
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        dotted = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if dotted == name:
+            return True
+    return False
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The terminal name a call resolves through (``Foo(...)``,
+    ``mod.Foo(...)`` and ``obj.method(...)`` all yield the last part)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+# ---------------------------------------------------------------------------
+# event classes: constructors vs isinstance/match dispatch
+# ---------------------------------------------------------------------------
+
+
+def _event_classes(modules: Sequence[SourceModule]) -> Dict[str, Site]:
+    """Chaos/message event classes: ``*Event`` class definitions that
+    are not exceptions (``ChaosEvent = object`` aliases are not
+    ClassDefs and stay invisible, as they should)."""
+    classes: Dict[str, Site] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name.endswith("Event")
+                and not _is_exception_class(node)
+            ):
+                classes[node.name] = (module.rel, node.lineno)
+    return classes
+
+
+def _collect_event_flow(
+    modules: Sequence[SourceModule],
+    classes: Dict[str, Site],
+    graph: FlowGraph,
+) -> None:
+    for name in classes:
+        graph.kind(f"event:{name}")
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in classes:
+                    graph.kind(f"event:{name}").producers.append(
+                        (module.rel, node.lineno)
+                    )
+                elif name == "isinstance" and len(node.args) == 2:
+                    spec = node.args[1]
+                    elements = (
+                        spec.elts
+                        if isinstance(spec, (ast.Tuple, ast.List))
+                        else [spec]
+                    )
+                    for element in elements:
+                        ref = (
+                            element.attr
+                            if isinstance(element, ast.Attribute)
+                            else element.id
+                            if isinstance(element, ast.Name)
+                            else None
+                        )
+                        if ref in classes:
+                            graph.kind(f"event:{ref}").consumers.append(
+                                (module.rel, node.lineno)
+                            )
+            elif isinstance(node, ast.MatchClass):
+                cls = node.cls
+                ref = cls.attr if isinstance(cls, ast.Attribute) else (
+                    cls.id if isinstance(cls, ast.Name) else None
+                )
+                if ref in classes:
+                    graph.kind(f"event:{ref}").consumers.append(
+                        (module.rel, node.lineno)
+                    )
+
+
+# ---------------------------------------------------------------------------
+# timers: schedule sites vs target methods
+# ---------------------------------------------------------------------------
+
+
+def _timer_targets(node: ast.Call) -> List[str]:
+    """``self``-method names a ``schedule``/``schedule_in`` callback
+    references (direct ``self._m`` or inside a lambda body)."""
+    targets: List[str] = []
+    for arg in list(node.args[1:]) + [kw.value for kw in node.keywords]:
+        for sub in ast.walk(arg):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+                and not sub.attr.startswith("__")
+            ):
+                targets.append(sub.attr)
+    return targets
+
+
+def _collect_timer_flow(
+    modules: Sequence[SourceModule], graph: FlowGraph
+) -> None:
+    for module in modules:
+        method_defs: Dict[str, int] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_defs.setdefault(node.name, node.lineno)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SCHEDULE_NAMES
+            ):
+                continue
+            for target in _timer_targets(node):
+                kind = graph.kind(f"timer:{target}")
+                kind.producers.append((module.rel, node.lineno))
+                if target in method_defs:
+                    site = (module.rel, method_defs[target])
+                    if site not in kind.consumers:
+                        kind.consumers.append(site)
+
+
+# ---------------------------------------------------------------------------
+# protocol surface: public methods/functions vs call sites
+# ---------------------------------------------------------------------------
+
+
+def _protocol_surface(
+    modules: Sequence[SourceModule],
+    protocol_classes: Dict[str, Tuple[str, ...]],
+    protocol_functions: Dict[str, Tuple[str, ...]],
+) -> Dict[str, Tuple[str, Site]]:
+    """kind -> (callable name, defining site) for the curated surface.
+
+    Properties, dunders and underscore-private methods are not message
+    surface — only plain public methods carry protocol traffic.
+    """
+    surface: Dict[str, Tuple[str, Site]] = {}
+    for module in modules:
+        class_names = next(
+            (
+                names
+                for suffix, names in protocol_classes.items()
+                if module.rel.endswith(suffix)
+            ),
+            (),
+        )
+        function_names = next(
+            (
+                names
+                for suffix, names in protocol_functions.items()
+                if module.rel.endswith(suffix)
+            ),
+            (),
+        )
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name in class_names:
+                for stmt in node.body:
+                    if not isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if stmt.name.startswith("_"):
+                        continue
+                    if _has_decorator(stmt, "property") or _has_decorator(
+                        stmt, "cached_property"
+                    ):
+                        continue
+                    kind = f"proto:{node.name}.{stmt.name}"
+                    surface[kind] = (
+                        stmt.name,
+                        (module.rel, stmt.lineno),
+                    )
+            elif (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in function_names
+            ):
+                surface[f"proto:{node.name}"] = (
+                    node.name,
+                    (module.rel, node.lineno),
+                )
+    return surface
+
+
+def _collect_protocol_flow(
+    modules: Sequence[SourceModule],
+    surface: Dict[str, Tuple[str, Site]],
+    graph: FlowGraph,
+) -> None:
+    by_name: Dict[str, List[str]] = {}
+    for kind, (name, site) in surface.items():
+        graph.kind(kind).consumers.append(site)
+        by_name.setdefault(name, []).append(kind)
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in by_name:
+                continue
+            for kind in by_name[name]:
+                defining = surface[kind][1]
+                # The def line itself is not a call site.
+                if (module.rel, node.lineno) == defining:
+                    continue
+                graph.kind(kind).producers.append((module.rel, node.lineno))
+
+
+# ---------------------------------------------------------------------------
+# COS803 — sends must ride the sequencing layer
+# ---------------------------------------------------------------------------
+
+
+def _test_mentions_recovery(test: ast.AST) -> bool:
+    for sub in ast.walk(test):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and "recovery" in name.lower():
+            return True
+    return False
+
+
+def _terminates(body: Sequence[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _guarded_by_recovery(
+    func: ast.AST, call: ast.Call, parents: Dict[int, ast.AST]
+) -> bool:
+    """Whether ``call`` is lexically under a ``recovery`` test, or a
+    preceding sibling ``if <recovery...>`` diverts control (its body
+    terminates) before the call runs."""
+    node: ast.AST = call
+    chain: List[ast.AST] = [call]
+    while id(node) in parents and node is not func:
+        node = parents[id(node)]
+        chain.append(node)
+    for ancestor in chain:
+        if isinstance(ancestor, ast.If) and _test_mentions_recovery(
+            ancestor.test
+        ):
+            return True
+    # Preceding diverting guards: scan each ancestor's statement list
+    # for an earlier `if ...recovery...` whose body terminates.
+    for ancestor in chain:
+        body = getattr(ancestor, "body", None)
+        if not isinstance(body, list):
+            continue
+        for stmt in body:
+            if any(stmt is link for link in chain):
+                break
+            if (
+                isinstance(stmt, ast.If)
+                and _test_mentions_recovery(stmt.test)
+                and _terminates(stmt.body)
+                and not stmt.orelse
+            ):
+                return True
+    return False
+
+
+def _check_send_sites(
+    module: SourceModule,
+    send_modules: Sequence[str],
+    report: Report,
+) -> None:
+    if not any(module.rel.endswith(name) for name in send_modules):
+        return
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(module.tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SEND_NAMES
+            ):
+                continue
+            if any(kw.arg == "seq" for kw in node.keywords):
+                continue
+            if _guarded_by_recovery(func, node, parents):
+                continue
+            report.add(
+                "COS803",
+                f"{node.func.attr}() without seq= outside a recovery "
+                "guard: in recovery mode this tuple bypasses the "
+                "sequenced uplink, so a drop on this path can never "
+                "be NACKed or retransmitted",
+                module.rel,
+                node.lineno,
+            )
+
+
+# ---------------------------------------------------------------------------
+# extraction + checks
+# ---------------------------------------------------------------------------
+
+
+def extract_flowgraph(
+    modules: Sequence[SourceModule],
+    protocol_classes: Optional[Dict[str, Tuple[str, ...]]] = None,
+    protocol_functions: Optional[Dict[str, Tuple[str, ...]]] = None,
+) -> FlowGraph:
+    """The message-flow graph of a module set (pure AST extraction)."""
+    graph = FlowGraph()
+    classes = _event_classes(modules)
+    _collect_event_flow(modules, classes, graph)
+    _collect_timer_flow(modules, graph)
+    surface = _protocol_surface(
+        modules,
+        protocol_classes
+        if protocol_classes is not None
+        else DEFAULT_PROTOCOL_CLASSES,
+        protocol_functions
+        if protocol_functions is not None
+        else DEFAULT_PROTOCOL_FUNCTIONS,
+    )
+    _collect_protocol_flow(modules, surface, graph)
+    return graph
+
+
+def check_flowgraph(
+    modules: Sequence[SourceModule],
+    send_modules: Sequence[str] = DEFAULT_SEND_MODULES,
+    graph: Optional[FlowGraph] = None,
+) -> Report:
+    """COS801/802/803 over a module set.
+
+    Diagnostics anchor on the surviving side of the broken edge: an
+    unconsumed kind points at its first producer, an unreachable
+    handler at its defining line — both pragma-able.
+    """
+    report = Report()
+    if graph is None:
+        graph = extract_flowgraph(modules)
+    for kind in graph.message_kinds:
+        if kind.producers and not kind.consumers:
+            rel, line = sorted(kind.producers)[0]
+            report.add(
+                "COS801",
+                f"{kind.kind} is produced here but nothing in the "
+                "package consumes it; the handler/dispatch branch is "
+                "gone or was never wired",
+                rel,
+                line,
+            )
+        elif kind.consumers and not kind.producers:
+            rel, line = sorted(kind.consumers)[0]
+            report.add(
+                "COS802",
+                f"{kind.kind} has a handler but no call/construction "
+                "site in the package produces it",
+                rel,
+                line,
+            )
+    for module in modules:
+        _check_send_sites(module, send_modules, report)
+    return report

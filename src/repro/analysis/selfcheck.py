@@ -1,28 +1,40 @@
 """The unified source-lint driver (``repro check --self``).
 
-Runs the three source families over a package directory — COS5xx
-determinism (:mod:`repro.analysis.purity`), COS6xx protocol contracts
+Runs the source families over a package directory — COS5xx determinism
+(:mod:`repro.analysis.purity`), COS6xx protocol contracts
 (:mod:`repro.analysis.protocol`), COS7xx style
-(:mod:`repro.analysis.style`) — through one pipeline:
+(:mod:`repro.analysis.style`), and the package-level COS8xx protocol
+models (:mod:`repro.analysis.flowgraph` message flow,
+:mod:`repro.analysis.lifecycle` state machines) — through one pipeline:
 
 1. load every module in sorted-path order (deterministic output);
 2. collect package-wide facts (enum tables for the dispatch check,
    set-returning function annotations for the iteration check);
-3. run the passes per module;
+3. run the per-module passes, then the package-level passes;
 4. honor ``# cos: disable=...`` pragmas;
-5. subtract the checked-in baseline (when given);
+5. subtract the checked-in baseline (when given) and flag its stale
+   remainder (COS704);
 6. optionally restrict to a ``--code`` selection.
 
-The same per-module entry point (:func:`check_source_module`) backs
-single-file uses: mutation canaries, property tests, editor hooks.
+The per-module entry point (:func:`check_source_module`) backs
+single-file uses — mutation canaries, property tests, editor hooks —
+and deliberately excludes the package-level COS8xx passes: a flow
+graph of one module in isolation would drown in false positives.
+
+Each driver entry point accepts an optional ``timings`` dict that is
+filled with per-pass wall-clock seconds (the ``repro check --self
+--json`` analyzer budget that CI gates on).
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import Report
+from repro.analysis.flowgraph import check_flowgraph
+from repro.analysis.lifecycle import check_lifecycle
 from repro.analysis.protocol import (
     DEFAULT_CALLBACK_MODULES,
     check_protocol,
@@ -31,12 +43,21 @@ from repro.analysis.protocol import (
 from repro.analysis.purity import check_purity, collect_set_returning
 from repro.analysis.source import (
     Baseline,
+    PragmaIndex,
     SourceModule,
     apply_pragmas,
     load_package,
     spec_matches,
 )
 from repro.analysis.style import check_style
+
+#: Analyzer pass list, in execution order (the ``--json`` contract).
+PASSES = ("purity", "protocol", "style", "flowgraph", "lifecycle")
+
+
+def _clock() -> float:
+    # cos: disable=COS502 (analyzer self-timing, not simulated time)
+    return time.perf_counter()
 
 
 def default_package_dir() -> Path:
@@ -73,25 +94,70 @@ def check_source_module(
     return report
 
 
+def _apply_package_pragmas(
+    report: Report, modules: Sequence[SourceModule]
+) -> Report:
+    """Pragma filtering for package-level passes, whose diagnostics
+    span modules: each finding consults the pragmas of the module it
+    anchors on."""
+    indexes: Dict[str, PragmaIndex] = {}
+    by_rel = {module.rel: module for module in modules}
+    kept = []
+    for diag in report:
+        module = by_rel.get(diag.source)
+        if module is not None:
+            index = indexes.get(diag.source)
+            if index is None:
+                index = indexes[diag.source] = PragmaIndex(module)
+            if index.suppresses(diag.pos, diag.code):
+                continue
+        kept.append(diag)
+    return Report(kept)
+
+
 def check_modules(
     modules: Sequence[SourceModule],
     callback_modules: Sequence[str] = DEFAULT_CALLBACK_MODULES,
     respect_pragmas: bool = True,
+    timings: Optional[Dict[str, float]] = None,
 ) -> Report:
-    """The package pipeline over an explicit module list."""
+    """The package pipeline over an explicit module list.
+
+    Per-module families first (pragmas applied per module), then the
+    package-level COS8xx passes (pragmas applied per anchored module).
+    ``timings`` — when given — accumulates wall-clock seconds per pass
+    under the names in :data:`PASSES`.
+    """
     enums = collect_enums(modules)
     set_returning = collect_set_returning(modules)
+    spent = {name: 0.0 for name in PASSES}
     combined = Report()
     for module in modules:
-        combined.extend(
-            check_source_module(
-                module,
-                enums=enums,
-                set_returning=set_returning,
-                callback_modules=callback_modules,
-                respect_pragmas=respect_pragmas,
-            )
-        )
+        per_module = Report()
+        mark = _clock()
+        per_module.extend(check_purity(module, set_returning))
+        spent["purity"] += _clock() - mark
+        mark = _clock()
+        per_module.extend(check_protocol(module, enums, callback_modules))
+        spent["protocol"] += _clock() - mark
+        mark = _clock()
+        per_module.extend(check_style(module))
+        spent["style"] += _clock() - mark
+        if respect_pragmas:
+            per_module = apply_pragmas(per_module, module)
+        combined.extend(per_module)
+    mark = _clock()
+    flow = check_flowgraph(modules)
+    spent["flowgraph"] = _clock() - mark
+    mark = _clock()
+    lifecycle = check_lifecycle(modules)
+    spent["lifecycle"] = _clock() - mark
+    for package_report in (flow, lifecycle):
+        if respect_pragmas:
+            package_report = _apply_package_pragmas(package_report, modules)
+        combined.extend(package_report)
+    if timings is not None:
+        timings.update(spent)
     return combined
 
 
@@ -102,23 +168,40 @@ def check_package(
     codes: Optional[Sequence[str]] = None,
     callback_modules: Sequence[str] = DEFAULT_CALLBACK_MODULES,
     respect_pragmas: bool = True,
+    timings: Optional[Dict[str, float]] = None,
 ) -> Tuple[Report, int]:
     """Lint every module under ``package``.
 
     Returns ``(report, forgiven)`` where ``forgiven`` counts findings
-    the ``baseline`` absorbed.  ``codes`` restricts the report to a
+    the ``baseline`` absorbed.  Baseline entries whose count exceeds
+    the findings actually present are *stale* and reported as COS704 —
+    a fixed finding must leave the ledger, not linger as a free pass
+    for a future regression.  ``codes`` restricts the report to a
     code-spec selection (exact codes or ``COS5xx`` families) *after*
     pragmas and baseline are applied.
     """
+    mark = _clock()
     modules = load_package(package, base)
+    if timings is not None:
+        timings["load"] = _clock() - mark
     report = check_modules(
         modules,
         callback_modules=callback_modules,
         respect_pragmas=respect_pragmas,
+        timings=timings,
     )
     forgiven = 0
     if baseline is not None:
-        report, forgiven = baseline.filter(report)
+        report, forgiven, stale = baseline.audit(report)
+        for rel, code, leftover in stale:
+            report.add(
+                "COS704",
+                f"baseline allows {leftover} more {code} finding(s) in "
+                f"{rel} than the source still has — remove the entry "
+                "(or lower its count)",
+                rel,
+                None,
+            )
     if codes:
         report = Report(
             d for d in report if spec_matches(codes, d.code)

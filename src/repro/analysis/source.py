@@ -236,6 +236,18 @@ class Baseline:
 
     def filter(self, report: Report) -> Tuple[Report, int]:
         """(report minus baselined findings, how many were forgiven)."""
+        filtered, forgiven, _stale = self.audit(report)
+        return filtered, forgiven
+
+    def audit(
+        self, report: Report
+    ) -> Tuple[Report, int, List[Tuple[str, str, int]]]:
+        """Like :meth:`filter`, plus the ledger's stale remainder.
+
+        ``stale`` lists ``(file, code, leftover)`` entries whose
+        recorded count exceeds the findings actually present — fixed
+        findings lingering in the ledger (COS704 in the driver).
+        """
         budget = dict(self._allow)
         kept: List[Diagnostic] = []
         forgiven = 0
@@ -246,7 +258,12 @@ class Baseline:
                 forgiven += 1
             else:
                 kept.append(diag)
-        return Report(kept), forgiven
+        stale = [
+            (rel, code, leftover)
+            for (rel, code), leftover in sorted(budget.items())
+            if leftover > 0
+        ]
+        return Report(kept), forgiven, stale
 
     def __len__(self) -> int:
         return sum(self._allow.values())

@@ -9,7 +9,8 @@
     python -m repro demo                   # the quickstart scenario + monitor
     python -m repro check [--workload W] [--strict]   # workload static analysis
     python -m repro check --self [--strict] [--code SPEC] [--json]  # source lint
-    python -m repro chaos [--seed N | --seeds N] [--recovery] [--trace] [--json PATH]
+    python -m repro chaos [--seed N | --seeds N] [--recovery] [--conform] [--trace] [--json PATH]
+    python -m repro flow [--json | --dot]  # extracted protocol model
 """
 
 from __future__ import annotations
@@ -76,6 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "exact pristine feed (zero tolerated losses)",
     )
     ch.add_argument(
+        "--conform",
+        action="store_true",
+        help="replay each run's trace against the statically extracted "
+        "protocol state machines (repro flow); an observed transition "
+        "absent from the model fails the run",
+    )
+    ch.add_argument(
         "--trace", action="store_true", help="print every run's event trace"
     )
     ch.add_argument(
@@ -89,6 +97,24 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write run counters as JSON (the CI bench artifact)",
+    )
+
+    fl = sub.add_parser(
+        "flow",
+        help="dump the statically extracted protocol model: the "
+        "message-flow graph and the lifecycle state machines",
+    )
+    fmt = fl.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the full model as JSON (default)",
+    )
+    fmt.add_argument(
+        "--dot",
+        action="store_true",
+        help="print the state machines as Graphviz DOT digraphs",
     )
     return parser
 
@@ -115,9 +141,11 @@ def _add_check_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--code",
         metavar="SPEC",
+        action="append",
         default=None,
         help="restrict findings to a comma list of codes or families "
-        "(e.g. COS503 or COS5xx,COS701)",
+        "(e.g. COS503 or COS8xx,COS601); repeatable — multiple --code "
+        "flags accumulate",
     )
     parser.add_argument(
         "--json",
@@ -169,7 +197,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis.source import SourceError, parse_code_spec, spec_matches
 
     try:
-        codes = parse_code_spec(args.code) if args.code else None
+        codes = parse_code_spec(",".join(args.code)) if args.code else None
     except SourceError as exc:
         print(f"repro check: {exc}", file=sys.stderr)
         return 2
@@ -208,7 +236,7 @@ def _cmd_check_self(args: argparse.Namespace) -> int:
     )
 
     try:
-        codes = parse_code_spec(args.code) if args.code else None
+        codes = parse_code_spec(",".join(args.code)) if args.code else None
         package = default_package_dir()
         baseline_path = (
             Path(args.baseline) if args.baseline else default_baseline_path(package)
@@ -221,19 +249,71 @@ def _cmd_check_self(args: argparse.Namespace) -> int:
         baseline = None
         if not args.no_baseline and baseline_path.is_file():
             baseline = Baseline.load(baseline_path)
-        report, forgiven = check_package(package, baseline=baseline, codes=codes)
+        timings: dict = {}
+        report, forgiven = check_package(
+            package, baseline=baseline, codes=codes, timings=timings
+        )
     except SourceError as exc:
         print(f"repro check: {exc}", file=sys.stderr)
         return 2
     if args.as_json:
         payload = report.to_dict()
         payload["forgiven"] = forgiven
+        payload["analyzer"] = {
+            "passes": [
+                {"name": name, "seconds": round(seconds, 6)}
+                for name, seconds in timings.items()
+            ],
+            "wall_seconds": round(sum(timings.values()), 6),
+        }
         print(json.dumps(payload, indent=2))
     else:
         print(report.render())
         if forgiven:
             print(f"{forgiven} baselined finding(s) suppressed")
     return report.exit_code(args.strict)
+
+
+def _extract_model():
+    """(flow graph, state machines) of the installed package source."""
+    from repro.analysis.flowgraph import extract_flowgraph
+    from repro.analysis.lifecycle import extract_lifecycle
+    from repro.analysis.selfcheck import default_package_dir
+    from repro.analysis.source import load_package
+
+    modules = load_package(default_package_dir())
+    return extract_flowgraph(modules), extract_lifecycle(modules)
+
+
+def _machine_dot(machine) -> str:
+    """One Graphviz digraph per machine (the docs render these)."""
+    lines = [f'digraph "{machine.name}" {{', "  rankdir=LR;"]
+    for state in machine.states:
+        attrs = []
+        if state in machine.initial:
+            attrs.append("style=bold")
+        if state in machine.terminal:
+            attrs.append("peripheries=2")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{state}"{suffix};')
+    for t in machine.transitions:
+        lines.append(f'  "{t.source}" -> "{t.target}" [label="{t.label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    """``repro flow``: dump the extracted protocol model."""
+    import json
+
+    graph, machines = _extract_model()
+    if args.dot:
+        print("\n\n".join(_machine_dot(machine) for machine in machines))
+        return 0
+    payload = graph.to_dict()
+    payload["machines"] = [machine.to_dict() for machine in machines]
+    print(json.dumps(payload, indent=2))
+    return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -250,6 +330,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.sim import ChaosConfig, generate_schedule, run_schedule
 
     seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
+    machines = None
+    if args.conform:
+        from repro.analysis.conformance import conformance_violations
+
+        _graph, machines = _extract_model()
     records = []
     failed = False
     for seed in seeds:
@@ -284,6 +369,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if args.recovery:
             record["convergence_time"] = report.convergence_time
             record["reliability"] = report.reliability
+        if machines is not None:
+            conform = conformance_violations(
+                report.trace.render().splitlines(),
+                machines,
+                report.reliability,
+                args.recovery,
+            )
+            record["conformance_violations"] = conform
+            if conform:
+                failed = True
+                print(f"seed {seed}: {len(conform)} conformance violation(s)")
+                for violation in conform:
+                    print(f"  {violation}")
         records.append(record)
     totals = {
         "deliveries_checked": sum(r["deliveries"] for r in records),
@@ -293,6 +391,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "tuples_dropped": sum(r["drops"] for r in records),
         "violations": sum(len(r["violations"]) for r in records),
     }
+    if machines is not None:
+        totals["conformance_violations"] = sum(
+            len(r["conformance_violations"]) for r in records
+        )
     if args.recovery:
         for key in (
             "retransmits",
@@ -377,6 +479,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_check(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "flow":
+        return _cmd_flow(args)
     return 2
 
 

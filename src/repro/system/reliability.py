@@ -147,6 +147,7 @@ class SequencedUplink:
     def next_seq(self) -> int:
         return self._next
 
+    # cos: disable=COS802 (sender-facing API: chaos schedules pre-stamp via record(), tests exercise stamp directly)
     def stamp(self, payload: Dict[str, object], sent: float) -> int:
         """Assign the next sequence number to ``payload`` and retain it."""
         seq = self._next
@@ -581,6 +582,7 @@ def quarantine_partitioned(
     return quarantined
 
 
+# cos: disable=COS802 (operator-facing heal path: invoked by tests/supervisors after connectivity is restored)
 def heal_partition(system: CosmosSystem) -> List[str]:
     """Resume quarantined queries whose partition has healed.
 

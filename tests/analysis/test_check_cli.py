@@ -38,7 +38,18 @@ class TestSelfModeOnPackage:
     def test_self_json_payload_shape(self, capsys):
         assert run_check(["--self", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"diagnostics", "errors", "warnings", "forgiven"}
+        assert set(payload) == {
+            "diagnostics", "errors", "warnings", "forgiven", "analyzer"
+        }
+        analyzer = payload["analyzer"]
+        names = [entry["name"] for entry in analyzer["passes"]]
+        assert names == [
+            "load", "purity", "protocol", "style", "flowgraph", "lifecycle"
+        ]
+        assert all(entry["seconds"] >= 0 for entry in analyzer["passes"])
+        assert analyzer["wall_seconds"] == pytest.approx(
+            sum(entry["seconds"] for entry in analyzer["passes"])
+        )
 
     def test_code_filter_validated(self, capsys):
         assert run_check(["--self", "--code", "bogus"]) == 2
@@ -132,6 +143,31 @@ class TestSelfModeExitCodes:
         out = capsys.readouterr().out
         assert "COS703" in out and "COS502" not in out
 
+    def test_code_accepts_comma_list(self, scratch_package, capsys):
+        (scratch_package / "m.py").write_text(
+            "import time\n"
+            "t = time.time()\n"
+        )
+        assert run_check(["--self", "--code", "COS5xx,COS7xx"]) == 2
+        out = capsys.readouterr().out
+        assert "COS502" in out and "COS703" in out
+
+    def test_code_flag_is_repeatable(self, scratch_package, capsys):
+        (scratch_package / "m.py").write_text(
+            "import time\n"
+            "t = time.time()\n"
+        )
+        assert run_check(
+            ["--self", "--code", "COS5xx", "--code", "COS7xx"]
+        ) == 2
+        out = capsys.readouterr().out
+        assert "COS502" in out and "COS703" in out
+        # A single spec still behaves as before.
+        capsys.readouterr()
+        assert run_check(["--self", "--code", "COS5xx"]) == 2
+        out = capsys.readouterr().out
+        assert "COS502" in out and "COS703" not in out
+
     def test_json_carries_findings(self, scratch_package, capsys):
         (scratch_package / "m.py").write_text(
             "from __future__ import annotations\n"
@@ -159,3 +195,52 @@ class TestBaselineSemantics:
         baseline = Baseline({(diag.source, diag.code): 1})
         kept, forgiven = baseline.filter(report)
         assert forgiven == 1 and len(kept) == len(report) - 1
+
+    def test_audit_reports_stale_remainder(self):
+        report, _ = check_package(
+            default_package_dir(), respect_pragmas=False
+        )
+        diag = report.diagnostics[0]
+        baseline = Baseline({(diag.source, diag.code): 3, ("gone.py", "COS701"): 1})
+        kept, forgiven, stale = baseline.audit(report)
+        count = sum(
+            1 for d in report
+            if (d.source, d.code) == (diag.source, diag.code)
+        )
+        leftover = 3 - min(3, count)
+        expected = [("gone.py", "COS701", 1)]
+        if leftover:
+            expected.insert(0, (diag.source, diag.code, leftover))
+        assert sorted(stale) == sorted(expected)
+        assert forgiven == min(3, count)
+        assert len(kept) == len(report) - forgiven
+
+
+class TestStaleBaseline:
+    def test_stale_entry_warns_plain_fails_strict(self, scratch_package, capsys):
+        (scratch_package / "m.py").write_text(
+            "from __future__ import annotations\n"
+            "import time\n"
+            "t = time.time()\n"
+        )
+        assert run_check(["--self", "--write-baseline"]) == 0
+        capsys.readouterr()
+        # Fix the finding; its ledger entry is now stale.
+        (scratch_package / "m.py").write_text(
+            "from __future__ import annotations\n"
+        )
+        assert run_check(["--self"]) == 0
+        out = capsys.readouterr().out
+        assert "COS704" in out and "scratchpkg/m.py" in out
+        assert run_check(["--self", "--strict"]) == 1
+
+    def test_matching_entry_is_not_stale(self, scratch_package, capsys):
+        (scratch_package / "m.py").write_text(
+            "from __future__ import annotations\n"
+            "import time\n"
+            "t = time.time()\n"
+        )
+        assert run_check(["--self", "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert run_check(["--self", "--strict"]) == 0
+        assert "COS704" not in capsys.readouterr().out

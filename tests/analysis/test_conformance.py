@@ -1,0 +1,163 @@
+"""Trace conformance: the extracted machines as a dynamic oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.conformance import conformance_violations
+from repro.analysis.lifecycle import extract_lifecycle
+from repro.analysis.selfcheck import default_package_dir
+from repro.analysis.source import load_package
+from repro.sim import ChaosConfig
+from repro.sim.runner import run_chaos
+
+
+@pytest.fixture(scope="module")
+def machines():
+    return extract_lifecycle(load_package(default_package_dir()))
+
+
+class TestConformingTraces:
+    def test_empty_trace(self, machines):
+        assert conformance_violations([], machines) == []
+
+    def test_full_recovery_exchange(self, machines):
+        trace = [
+            "inject t=1 S[a=1] seq=0 -> 1 released",
+            "drop t=2 S seq=1",
+            "inject t=3 S[a=2] seq=2 -> 0 released",
+            "punct t=4 S seq<=2 -> 1 gaps",
+            "nack t=5 S seq=1 attempt=1",
+            "nack t=6 S seq=1 attempt=2",
+            "retransmit t=7 S seq=1 -> 2 released",
+            "inject t=8 S[a=2] dup seq=2 -> 0 released suppressed",
+            "flush 4 tuples -> 4 deliveries",
+        ]
+        assert conformance_violations(trace, machines) == []
+
+    def test_abandoned_gap(self, machines):
+        trace = [
+            "drop t=1 S seq=0",
+            "inject t=2 S[a=1] seq=1 -> 0 released",
+            "nack t=3 S seq=0 attempt=1",
+            "abandon t=4 S seq=0 -> 1 released",
+        ]
+        assert conformance_violations(trace, machines) == []
+
+    def test_crash_suspect_repair_cycle(self, machines):
+        trace = [
+            "fail_broker t=1 node=4 -> crashed",
+            "suspect t=2 node=4",
+            "repair t=3 fail_broker node=4 -> retry 2 (unreachable)",
+            "repair t=4 fail_broker node=4 -> applied",
+        ]
+        assert conformance_violations(trace, machines) == []
+
+    def test_degraded_queries_conform_and_count(self, machines):
+        trace = [
+            "fail_broker t=1 node=4 -> crashed",
+            "suspect t=2 node=4",
+            "repair t=3 fail_broker node=4 -> degraded [q1,q2]",
+        ]
+        reliability = {"queries_quarantined": 2, "nodes_suspected": 1}
+        assert (
+            conformance_violations(trace, machines, reliability, recovery=True)
+            == []
+        )
+
+    def test_lossy_fault_outcomes(self, machines):
+        trace = [
+            "inject t=1 S[a=1] -> 2 deliveries",
+            "fail_broker t=2 node=3 -> applied",
+            "fail_processor t=3 node=5 -> refused (last processor)",
+        ]
+        assert conformance_violations(trace, machines) == []
+
+
+class TestViolations:
+    def test_arrive_after_release_is_flagged(self, machines):
+        trace = [
+            "inject t=1 S[a=1] seq=0 -> 1 released",
+            "inject t=2 S[a=1] dup seq=0 -> 0 released",
+        ]
+        (violation,) = conformance_violations(trace, machines)
+        assert "uplink-receiver" in violation and "arrive" in violation
+
+    def test_suspect_without_crash_is_flagged(self, machines):
+        (violation,) = conformance_violations(
+            ["suspect t=1 node=5"], machines
+        )
+        assert "node-supervision" in violation and "suspect" in violation
+
+    def test_double_quarantine_is_flagged(self, machines):
+        trace = [
+            "fail_broker t=1 node=4 -> crashed",
+            "suspect t=2 node=4",
+            "repair t=3 fail_broker node=4 -> degraded [q1]",
+            "fail_broker t=5 node=6 -> crashed",
+            "suspect t=6 node=6",
+            "repair t=7 fail_broker node=6 -> degraded [q1]",
+        ]
+        (violation,) = conformance_violations(trace, machines)
+        assert "QueryStatus" in violation and "q1" in violation
+
+    def test_noncontiguous_nack_attempts_are_flagged(self, machines):
+        trace = [
+            "drop t=1 S seq=0",
+            "inject t=2 S[a=1] seq=1 -> 0 released",
+            "nack t=3 S seq=0 attempt=2",
+        ]
+        (violation,) = conformance_violations(trace, machines)
+        assert "attempt 2 observed, expected 1" in violation
+
+    def test_unrecognized_record_is_flagged(self, machines):
+        (violation,) = conformance_violations(["wat t=1 huh"], machines)
+        assert "unrecognized" in violation
+
+    def test_counter_disagreement_exact(self, machines):
+        trace = [
+            "drop t=1 S seq=0",
+            "inject t=2 S[a=1] seq=1 -> 0 released",
+            "nack t=3 S seq=0 attempt=1",
+            "retransmit t=4 S seq=0 -> 2 released",
+        ]
+        reliability = {"retransmits": 3}
+        (violation,) = conformance_violations(
+            trace, machines, reliability, recovery=True
+        )
+        assert "retransmits=3" in violation
+
+    def test_counter_disagreement_lower_bound(self, machines):
+        trace = [
+            "drop t=1 S seq=0",
+            "inject t=2 S[a=1] seq=1 -> 0 released",
+            "nack t=3 S seq=0 attempt=1",
+            "retransmit t=4 S seq=0 -> 2 released",
+        ]
+        reliability = {"nacks_sent": 0, "retransmits": 1}
+        (violation,) = conformance_violations(
+            trace, machines, reliability, recovery=True
+        )
+        assert "nacks_sent=0" in violation
+
+    def test_counters_ignored_without_recovery(self, machines):
+        trace = ["inject t=1 S[a=1] -> 1 deliveries"]
+        assert (
+            conformance_violations(trace, machines, {"retransmits": 99})
+            == []
+        )
+
+
+class TestAgainstRealRuns:
+    @pytest.mark.parametrize("recovery", [False, True])
+    def test_seed0_conforms(self, machines, recovery):
+        config = ChaosConfig(seed=0, recovery=recovery)
+        report = run_chaos(config)
+        assert report.ok
+        violations = conformance_violations(
+            report.trace.render().splitlines(),
+            machines,
+            report.reliability,
+            recovery,
+        )
+        assert violations == []

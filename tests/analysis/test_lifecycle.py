@@ -1,0 +1,167 @@
+"""COS81x lifecycle extraction: machines, guard narrowing, canaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lifecycle import (
+    Transition,
+    check_lifecycle,
+    extract_lifecycle,
+)
+from repro.analysis.selfcheck import check_modules, default_package_dir
+from repro.analysis.source import load_package, module_from_text
+
+
+@pytest.fixture(scope="module")
+def modules():
+    return load_package(default_package_dir())
+
+
+@pytest.fixture(scope="module")
+def machines(modules):
+    return {m.name: m for m in extract_lifecycle(modules)}
+
+
+def mutate(modules, rel_suffix, old, new, count=1):
+    out = []
+    hit = False
+    for module in modules:
+        if module.rel.endswith(rel_suffix):
+            assert module.text.count(old) == count, rel_suffix
+            out.append(module_from_text(module.text.replace(old, new), module.rel))
+            hit = True
+        else:
+            out.append(module)
+    assert hit, f"no module matches {rel_suffix}"
+    return out
+
+
+class TestExtraction:
+    def test_at_least_three_machines(self, machines):
+        assert {
+            "QueryStatus",
+            "uplink-receiver",
+            "failure-detector",
+            "node-supervision",
+        } <= set(machines)
+
+    def test_query_status_machine(self, machines):
+        m = machines["QueryStatus"]
+        assert m.initial == ["ACTIVE"]
+        assert Transition("quarantine_partitioned", "ACTIVE", "DEGRADED") in m.transitions
+        assert Transition("heal_partition", "DEGRADED", "ACTIVE") in m.transitions
+        # The quarantine guard skips non-ACTIVE handles, so there is no
+        # DEGRADED->DEGRADED quarantine edge.
+        assert (
+            Transition("quarantine_partitioned", "DEGRADED", "DEGRADED")
+            not in m.transitions
+        )
+
+    def test_uplink_receiver_machine(self, machines):
+        m = machines["uplink-receiver"]
+        assert m.initial == ["UNSEEN"]
+        assert set(m.terminal) == {"RELEASED", "ABANDONED"}
+        assert m.targets("arrive", "UNSEEN") == ["BUFFERED"]
+        assert m.targets("release", "BUFFERED") == ["RELEASED"]
+        assert m.targets("abandon", "GAP") == ["ABANDONED"]
+
+    def test_failure_detector_machine(self, machines):
+        m = machines["failure-detector"]
+        assert m.targets("suspect", "MONITORED") == ["SUSPECTED"]
+        assert set(m.targets("deregister", "SUSPECTED")) == {"UNKNOWN"}
+
+    def test_every_machine_reaches_every_state(self, machines):
+        for m in machines.values():
+            assert m.reachable() == set(m.states), m.name
+
+
+class TestGuardNarrowing:
+    def test_early_return_guard_narrows_from_set(self):
+        module = module_from_text(
+            "from __future__ import annotations\n"
+            "import enum\n"
+            "class Phase(enum.Enum):\n"
+            "    A = 'a'\n"
+            "    B = 'b'\n"
+            "class Holder:\n"
+            "    phase: Phase = Phase.A\n"
+            "def promote(h):\n"
+            "    if h.phase is not Phase.A:\n"
+            "        return\n"
+            "    h.phase = Phase.B\n",
+            "pkg/phases.py",
+        )
+        (machine,) = extract_lifecycle([module], specs=())
+        assert machine.name == "Phase"
+        assert machine.transitions == [Transition("promote", "A", "B")]
+
+    def test_if_branch_narrows_from_set(self):
+        module = module_from_text(
+            "from __future__ import annotations\n"
+            "import enum\n"
+            "class Phase(enum.Enum):\n"
+            "    A = 'a'\n"
+            "    B = 'b'\n"
+            "class Holder:\n"
+            "    phase: Phase = Phase.A\n"
+            "def flip(h):\n"
+            "    if h.phase is Phase.B:\n"
+            "        h.phase = Phase.A\n"
+            "    else:\n"
+            "        h.phase = Phase.B\n",
+            "pkg/phases.py",
+        )
+        (machine,) = extract_lifecycle([module], specs=())
+        assert set(machine.transitions) == {
+            Transition("flip", "B", "A"),
+            Transition("flip", "A", "B"),
+        }
+
+
+class TestPristine:
+    def test_package_lifecycle_is_clean(self, modules):
+        assert check_lifecycle(modules).is_clean
+
+
+class TestCanaries:
+    def test_unproduced_enum_member_fires_cos812(self, modules):
+        """A QueryStatus member no code path ever assigns is dead
+        protocol surface."""
+        mutated = mutate(
+            modules,
+            "system/cosmos.py",
+            '    DEGRADED = "degraded"\n',
+            '    DEGRADED = "degraded"\n    REBUILDING = "rebuilding"\n',
+        )
+        report = check_lifecycle(mutated)
+        assert report.codes() == ["COS812"]
+        assert "REBUILDING" in report.render()
+        assert check_modules(mutated).has("COS812")
+
+    def test_removing_the_heal_path_fires_cos813(self, modules):
+        """Without heal_partition's status assignment, DEGRADED becomes
+        a trap state the model forbids."""
+        mutated = mutate(
+            modules,
+            "system/reliability.py",
+            "        handle.status = QueryStatus.ACTIVE\n",
+            "",
+        )
+        report = check_lifecycle(mutated)
+        assert report.codes() == ["COS813"]
+        assert "DEGRADED" in report.render()
+
+    def test_missing_spec_anchor_fires_cos812(self, modules):
+        """Renaming the suspicion mutation breaks the anchored
+        MONITORED->SUSPECTED transition (and SUSPECTED turns
+        unreachable)."""
+        mutated = mutate(
+            modules,
+            "system/reliability.py",
+            "self._suspected.add",
+            "self._suspected_nodes_add",
+        )
+        report = check_lifecycle(mutated)
+        assert report.has("COS812")
+        assert "suspect" in report.render()

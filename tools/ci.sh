@@ -10,8 +10,16 @@ python tools/lint_repro.py
 echo "== repro check =="
 PYTHONPATH=src python -m repro check
 
-echo "== repro check --self (COS5xx/6xx/7xx source lint) =="
-PYTHONPATH=src python -m repro check --self --strict
+echo "== repro check --self (COS5xx/6xx/7xx/8xx source lint, <10s budget) =="
+PYTHONPATH=src python -m repro check --self --strict --json > BENCH_selfcheck.json
+python - <<'EOF'
+import json
+payload = json.load(open("BENCH_selfcheck.json"))
+wall = payload["analyzer"]["wall_seconds"]
+passes = [entry["name"] for entry in payload["analyzer"]["passes"]]
+print(f"analyzer passes: {', '.join(passes)}; wall {wall:.2f}s")
+assert wall < 10.0, f"analyzer runtime budget exceeded: {wall:.2f}s >= 10s"
+EOF
 
 echo "== tier-1 tests =="
 PYTHONPATH=src:. python -m pytest -x -q
@@ -22,7 +30,7 @@ python tools/bench_publish.py
 echo "== chaos smoke (seeded fault injection) =="
 PYTHONPATH=src python -m repro chaos --seeds 25 --json BENCH_chaos.json
 
-echo "== chaos recovery smoke (self-healing, exact delivery oracle) =="
-PYTHONPATH=src python -m repro chaos --seeds 25 --recovery --json BENCH_chaos_recovery.json
+echo "== chaos recovery smoke (self-healing, exact delivery + conformance oracles) =="
+PYTHONPATH=src python -m repro chaos --seeds 25 --recovery --conform --json BENCH_chaos_recovery.json
 
 echo "== ci: all gates passed =="
