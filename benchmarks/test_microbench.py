@@ -6,7 +6,6 @@ guard against performance regressions.
 """
 
 import random
-import time
 
 import pytest
 
@@ -22,6 +21,15 @@ from repro.overlay.topology import barabasi_albert
 from repro.overlay.tree import DisseminationTree
 from repro.spe.engine import StreamProcessingEngine
 from repro.workload.auction import TABLE1_Q3, auction_catalog
+from repro.workload.bench import (
+    best_of,
+    group_feed,
+    publish_batched,
+    publish_batched_time,
+    publish_loop,
+    publish_loop_time,
+    stats_equal,
+)
 from repro.workload.fastpath import build_fastpath_workload
 from repro.workload.queries import QueryWorkload, WorkloadConfig
 from repro.workload.sensorscope import sensorscope_catalog
@@ -65,21 +73,61 @@ def test_cbn_publish_many_throughput(benchmark):
     """Batched publication of a whole feed via ``publish_many``."""
     workload = build_fastpath_workload(
         fast_path=True, n_streams=8, n_subscriptions=200, n_nodes=80,
-        n_datagrams=50,
+        n_datagrams=50, batch_size=10,
     )
-    by_origin = {}
-    for datagram, origin in workload.feed:
-        by_origin.setdefault(origin, []).append(datagram)
+    runs = group_feed(workload.feed)
 
     def run():
         return sum(
             len(deliveries)
-            for origin, batch in by_origin.items()
+            for batch, origin in runs
             for deliveries in workload.network.publish_many(batch, origin)
         )
 
     delivered = benchmark(run)
     assert delivered > 0
+
+
+def test_cbn_columnar_batch_speedup(report):
+    """The columnar batch path vs the scalar per-datagram fast path.
+
+    Bursty feed (runs of 25 same-stream datagrams): grouping the runs
+    through ``publish_many`` amortises plan lookup, column extraction
+    and shared projection across each batch, and must stay
+    byte-identical to publishing the feed one datagram at a time.
+    """
+    shape = dict(n_datagrams=200, batch_size=25)
+    batched = build_fastpath_workload(fast_path=True, **shape)
+    scalar = build_fastpath_workload(fast_path=True, **shape)
+    runs = group_feed(batched.feed)
+
+    batched_out = publish_batched(batched.network, runs)
+    scalar_out = publish_loop(scalar.network, scalar.feed)
+    batched_time, scalar_time = best_of(
+        3,
+        lambda: publish_batched_time(batched.network, runs),
+        lambda: publish_loop_time(scalar.network, scalar.feed),
+    )
+
+    assert batched_out == scalar_out
+    assert stats_equal(batched.network, scalar.network)
+
+    speedup = scalar_time / batched_time
+    report(
+        "microbench_columnar",
+        render_table(
+            ["path", "datagrams/sec", "best rep (s)"],
+            [
+                ["scalar fast path", f"{len(scalar_out) / scalar_time:.0f}",
+                 f"{scalar_time:.4f}"],
+                ["columnar batches", f"{len(batched_out) / batched_time:.0f}",
+                 f"{batched_time:.4f}"],
+                ["speedup", f"{speedup:.2f}x", ""],
+            ],
+            "Microbench: CBN columnar batch path vs scalar fast path",
+        ),
+    )
+    assert speedup >= 1.2
 
 
 def test_cbn_fastpath_speedup(report):
@@ -91,45 +139,25 @@ def test_cbn_fastpath_speedup(report):
     ``LinkStats`` totals.  Timed reps of the two paths are interleaved
     so both sample the same machine conditions.
     """
-    reps = 3
     fast = build_fastpath_workload(fast_path=True)
     slow = build_fastpath_workload(fast_path=False)
 
-    def warm(workload):
-        return [
-            workload.network.publish(datagram, origin)
-            for datagram, origin in workload.feed
-        ]
-
-    def timed(workload):
-        start = time.perf_counter()
-        for datagram, origin in workload.feed:
-            workload.network.publish(datagram, origin)
-        return time.perf_counter() - start
-
-    fast_deliveries = warm(fast)
-    slow_deliveries = warm(slow)
-    fast_time = slow_time = float("inf")
-    for __ in range(reps):
-        fast_time = min(fast_time, timed(fast))
-        slow_time = min(slow_time, timed(slow))
-    fast_stats = fast.network.data_stats.as_dict()
-    slow_stats = slow.network.data_stats.as_dict()
+    fast_out = publish_loop(fast.network, fast.feed)
+    slow_out = publish_loop(slow.network, slow.feed)
+    fast_time, slow_time = best_of(
+        3,
+        lambda: publish_loop_time(fast.network, fast.feed),
+        lambda: publish_loop_time(slow.network, slow.feed),
+    )
 
     # Byte-identical outcomes: same subscribers, nodes and payloads in
     # the same order, and identical per-link message/byte totals.
-    assert [
-        [(d.subscription_id, d.node, d.datagram) for d in per_datagram]
-        for per_datagram in fast_deliveries
-    ] == [
-        [(d.subscription_id, d.node, d.datagram) for d in per_datagram]
-        for per_datagram in slow_deliveries
-    ]
-    assert fast_stats == slow_stats
+    assert fast_out == slow_out
+    assert stats_equal(fast.network, slow.network)
 
     speedup = slow_time / fast_time
-    rate_fast = len(fast_deliveries) / fast_time
-    rate_slow = len(slow_deliveries) / slow_time
+    rate_fast = len(fast_out) / fast_time
+    rate_slow = len(slow_out) / slow_time
     report(
         "microbench_fastpath",
         render_table(

@@ -25,15 +25,28 @@ publishes run on cached state: per stream the network memoizes the
 dissemination tree, the schema width table, each broker's neighbour
 list and — from the routing tables' per-stream index — the *candidate
 interfaces* that have any entry for the stream.  The cache is
-epoch-versioned: every routing mutation (install/remove/
-remove_interface, reached via subscribe/unsubscribe/advertise) and
-every catalog registration bumps a version, and the next publish
-rebuilds only what it touches.  :meth:`ContentBasedNetwork.publish_many`
-batches a feed of datagrams injected at one broker so even the
-per-publish validation and cache probes are hoisted out of the loop.
-Constructing with ``fast_path=False`` retains the pre-index behaviour
-(full profile scans, per-publish dict rebuilding) as the reference for
-equivalence tests and before/after benchmarks.
+epoch-versioned **per stream shard**
+(:func:`~repro.cbn.columns.stream_shard`): every routing mutation
+(install/remove/remove_interface, reached via subscribe/unsubscribe/
+advertise) bumps the shards of the streams it touched — or a catch-all
+version when the touched set is unknown — and every catalog
+registration bumps the catalog version, so the next publish only
+rebuilds the facts of streams whose shard actually moved.
+
+:meth:`ContentBasedNetwork.publish_many` is the columnar batch entry
+point: the feed is split into consecutive same-stream runs and each
+run of two or more datagrams is routed **once per batch** through
+:meth:`_route_batch` — a shared DFS over the dissemination tree where
+every broker evaluates its compiled per-bucket plans against the whole
+surviving batch (:meth:`RoutingTable.decide_batch` /
+:meth:`RoutingTable.local_deliveries_batch`) instead of once per
+datagram.  Only *consecutive* same-stream datagrams are batched so the
+per-link traffic accounting accumulates in exactly the per-datagram
+order (float addition is order-sensitive); deliveries and stats are
+byte-identical to per-datagram :meth:`publish` calls.  Constructing
+with ``fast_path=False`` retains the pre-index behaviour (full profile
+scans, per-publish dict rebuilding) as the reference for equivalence
+tests and before/after benchmarks.
 """
 
 from __future__ import annotations
@@ -42,6 +55,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.cbn.columns import ColumnBatch, stream_shard
 from repro.cbn.datagram import Datagram
 from repro.cbn.filters import Profile
 from repro.cbn.routing import RoutingTable
@@ -179,10 +193,17 @@ class ContentBasedNetwork:
         }
         self._subscriptions: Dict[str, _Subscription] = {}
         self._advertisements: Dict[str, List[_Advertisement]] = {}
-        #: stream -> facts, valid while ``_facts_key`` matches
-        #: (routing epoch, catalog version).
-        self._facts: Dict[str, _StreamFacts] = {}
-        self._facts_key: Tuple[int, int] = (-1, -1)
+        #: stream -> (facts, shard version they were built at); each
+        #: entry revalidates lazily against its own stream's shard, so
+        #: churn on one stream leaves the others' facts warm.
+        self._facts: Dict[str, Tuple[_StreamFacts, Tuple[int, int, int]]] = {}
+        #: shard index -> routing-mutation count for streams hashing
+        #: there (fed by the tables' ``on_change`` stream reports).
+        self._shard_epochs: Dict[int, int] = {}
+        #: Bumped by mutations with unknown touched streams.
+        self._all_epoch = 0
+        #: stream -> shard index memo.
+        self._shard_of: Dict[str, int] = {}
         weights = {edge: tree.weight(*edge) for edge in tree.edges}
         for stree in self._stream_trees.values():
             for edge in stree.edges:
@@ -221,7 +242,7 @@ class ContentBasedNetwork:
                     "can no longer change"
                 )
         self._stream_trees[stream] = tree
-        self._bump_epoch()
+        self._bump_epoch((stream,))
         for edge in tree.edges:
             weight = tree.weight(*edge)
             self.data_stats.add_weight(edge, weight)
@@ -235,8 +256,27 @@ class ContentBasedNetwork:
 
     # -- the decision cache -------------------------------------------------------
 
-    def _bump_epoch(self) -> None:
+    def _bump_epoch(self, streams: Optional[Iterable[str]] = None) -> None:
+        """Record a routing mutation touching ``streams``.
+
+        ``None`` means the touched set is unknown; the catch-all
+        version moves instead, invalidating every stream's facts.
+        """
         self._epoch += 1
+        if streams is None:
+            self._all_epoch += 1
+            return
+        epochs = self._shard_epochs
+        shard_of = self._shard_of
+        touched = set()
+        for stream in streams:
+            shard = shard_of.get(stream)
+            if shard is None:
+                shard = stream_shard(stream)
+                shard_of[stream] = shard
+            touched.add(shard)
+        for shard in sorted(touched):
+            epochs[shard] = epochs.get(shard, 0) + 1
 
     @property
     def routing_epoch(self) -> int:
@@ -244,16 +284,22 @@ class ContentBasedNetwork:
         return self._epoch
 
     def _facts_for(self, stream: str) -> _StreamFacts:
-        key = (self._epoch, self.catalog.version)
-        if self._facts_key != key:
-            self._facts.clear()
-            self._facts_key = key
-        facts = self._facts.get(stream)
-        if facts is None:
-            facts = _StreamFacts(
-                stream, self.tree_for(stream), self._widths_for(stream)
-            )
-            self._facts[stream] = facts
+        shard = self._shard_of.get(stream)
+        if shard is None:
+            shard = stream_shard(stream)
+            self._shard_of[stream] = shard
+        version = (
+            self._shard_epochs.get(shard, 0),
+            self._all_epoch,
+            self.catalog.version,
+        )
+        cached = self._facts.get(stream)
+        if cached is not None and cached[1] == version:
+            return cached[0]
+        facts = _StreamFacts(
+            stream, self.tree_for(stream), self._widths_for(stream)
+        )
+        self._facts[stream] = (facts, version)
         return facts
 
     # -- advertisement --------------------------------------------------------------
@@ -282,7 +328,7 @@ class ContentBasedNetwork:
         if any(ad.node == node for ad in ads):
             return
         ads.append(_Advertisement(stream, node))
-        self._bump_epoch()
+        self._bump_epoch((stream,))
         if self._scope:
             for sub in self._subscriptions.values():
                 if stream in sub.profile.streams:
@@ -418,24 +464,44 @@ class ContentBasedNetwork:
         """Inject a batch of datagrams at broker ``node``.
 
         Returns one delivery list per datagram, in order — exactly what
-        per-datagram :meth:`publish` calls would produce — but hoists
-        the broker validation and the per-stream cache probes out of
-        the loop, so feed replays and benchmarks pay the lookup once
-        per distinct stream instead of once per datagram.
+        per-datagram :meth:`publish` calls would produce.  Consecutive
+        datagrams of the same stream form a *run* routed once per batch
+        through the columnar plans (:meth:`_route_batch`); runs of one
+        fall back to the scalar hot path.  Only consecutive datagrams
+        are grouped (not all same-stream datagrams of the feed) so the
+        per-link traffic accounting accumulates float contributions in
+        exactly the per-datagram order.
         """
         if node not in self._tables:
             raise NetworkError(f"unknown broker {node}")
         if not self.fast_path:
             return [self._publish_scan(d, node) for d in datagrams]
-        facts: Dict[str, _StreamFacts] = {}
         out: List[List[Delivery]] = []
+        run: List[Datagram] = []
+        run_stream: Optional[str] = None
         for datagram in datagrams:
-            stream_facts = facts.get(datagram.stream)
-            if stream_facts is None:
-                stream_facts = self._facts_for(datagram.stream)
-                facts[datagram.stream] = stream_facts
-            out.append(self._route(datagram, node, stream_facts))
+            if datagram.stream != run_stream and run:
+                self._flush_run(run, run_stream, node, out)
+                run = []
+            run_stream = datagram.stream
+            run.append(datagram)
+        if run:
+            self._flush_run(run, run_stream, node, out)
         return out
+
+    def _flush_run(
+        self,
+        run: List[Datagram],
+        stream: str,
+        node: NodeId,
+        out: List[List[Delivery]],
+    ) -> None:
+        """Route one consecutive same-stream run, appending to ``out``."""
+        facts = self._facts_for(stream)
+        if len(run) == 1:
+            out.append(self._route(run[0], node, facts))
+        else:
+            out.extend(self._route_batch(run, node, facts))
 
     def _route(
         self, datagram: Datagram, node: NodeId, facts: _StreamFacts
@@ -474,6 +540,81 @@ class ContentBasedNetwork:
                     out_size = outgoing.size_bytes(widths)
                 record(here, neighbor, out_size)
                 stack.append((neighbor, here, outgoing, out_size))
+        return deliveries
+
+    def _route_batch(
+        self, datagrams: List[Datagram], node: NodeId, facts: _StreamFacts
+    ) -> List[List[Delivery]]:
+        """Columnar batch routing of one same-stream run.
+
+        One DFS over the dissemination tree carries the whole batch:
+        each stack frame holds the *surviving subset* (original indices,
+        per-datagram current copies and byte sizes) at one broker, and
+        every broker evaluates its compiled plans once per batch via
+        the column masks.  Per datagram the visit order, deliveries and
+        per-link traffic records are exactly those of a standalone
+        :meth:`_route` call — frames not containing a datagram never
+        spawn frames that do, so the projection of the shared DFS onto
+        one datagram's frames is its solo DFS.
+        """
+        widths = facts.widths
+        record = self.data_stats.record
+        tables = self._tables
+        n = len(datagrams)
+        deliveries: List[List[Delivery]] = [[] for __ in range(n)]
+        #: (broker, interface it arrived from, surviving original
+        #: indices, their current copies, their sizes or None)
+        stack: List[
+            Tuple[
+                NodeId,
+                Optional[NodeId],
+                List[int],
+                List[Datagram],
+                List[Optional[float]],
+            ]
+        ] = [(node, None, list(range(n)), list(datagrams), [None] * n)]
+        stream = facts.stream
+        while stack:
+            here, arrived_from, indices, currents, sizes = stack.pop()
+            table = tables[here]
+            batch = ColumnBatch(currents, stream)
+            local = table.local_deliveries_batch(batch)
+            for slot, index in enumerate(indices):
+                for sid, projected in local[slot]:
+                    deliveries[index].append(Delivery(sid, here, projected))
+            for neighbor in facts.candidates(here, table):
+                if neighbor == arrived_from:
+                    continue
+                decisions = table.decide_batch(neighbor, batch)
+                sub_indices: List[int] = []
+                sub_currents: List[Datagram] = []
+                sub_sizes: List[Optional[float]] = []
+                for slot, decision in enumerate(decisions):
+                    if not decision.forward:
+                        continue
+                    current = currents[slot]
+                    keep = decision.attributes
+                    payload = current.payload
+                    if keep is None or all(attr in keep for attr in payload):
+                        # Projection keeps everything: reuse the
+                        # immutable datagram (and cache its size for
+                        # this frame's remaining interfaces).
+                        out_size = sizes[slot]
+                        if out_size is None:
+                            out_size = current.size_bytes(widths)
+                            sizes[slot] = out_size
+                        outgoing = current
+                    else:
+                        outgoing = current.project(keep)
+                        out_size = outgoing.size_bytes(widths)
+                    record(here, neighbor, out_size)
+                    sub_indices.append(indices[slot])
+                    sub_currents.append(outgoing)
+                    sub_sizes.append(out_size)
+                if sub_indices:
+                    stack.append(
+                        (neighbor, here, sub_indices, sub_currents, sub_sizes)
+                    )
         return deliveries
 
     def _publish_scan(self, datagram: Datagram, node: NodeId) -> List[Delivery]:

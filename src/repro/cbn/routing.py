@@ -28,12 +28,34 @@ the accumulated attribute union reaches the per-(interface, stream)
 upper bound the remaining entries cannot change the decision either.
 
 Every mutation bumps :attr:`RoutingTable.epoch`; compiled state is
-rebuilt lazily when the epoch moves, and the owning network layer uses
-the same signal (via ``on_change``) to invalidate its own per-stream
-caches.  Constructing the table with ``use_index=False`` keeps the
-pre-index scan-everything behaviour, used as the reference
-implementation by the equivalence property tests and the before/after
-benchmarks.
+rebuilt lazily when versions move, and the owning network layer uses
+the same signal (via ``on_change``, which now reports the *streams* a
+mutation touched) to invalidate its own per-stream caches.
+Constructing the table with ``use_index=False`` keeps the pre-index
+scan-everything behaviour, used as the reference implementation by the
+equivalence property tests and the before/after benchmarks.
+
+Columnar batch path
+-------------------
+:meth:`RoutingTable.decide_batch` and
+:meth:`RoutingTable.local_deliveries_batch` evaluate one compiled plan
+against a whole same-stream :class:`~repro.cbn.columns.ColumnBatch` at
+once: each entry's filter conditions are compiled
+(:func:`~repro.cbn.columns.compile_condition`) into column evaluators
+producing per-batch match masks, and projection work is shared across
+the subscriptions of a bucket (one projected copy per distinct
+projection set per datagram).  Results are element-wise identical to
+per-datagram :meth:`decide` / :meth:`local_deliveries`.
+
+Shard-scoped invalidation
+-------------------------
+Compiled plans are validated per *stream shard*
+(:func:`~repro.cbn.columns.stream_shard`): every mutation bumps only
+the shards of the streams it touched (or a catch-all version when the
+touched set is unknown), so a subscription churn event invalidates the
+plans of the streams it concerns and publishing other streams keeps
+hitting warm caches — per-publish recompilation work is O(touched
+shards), not O(all streams).
 """
 
 from __future__ import annotations
@@ -43,12 +65,14 @@ from typing import (
     Callable,
     Dict,
     FrozenSet,
+    Iterable,
     List,
     Optional,
     Set,
     Tuple,
 )
 
+from repro.cbn.columns import ColumnBatch, Mask, compile_condition, stream_shard
 from repro.cbn.datagram import Datagram
 from repro.cbn.filters import ALL_ATTRIBUTES, Profile
 from repro.overlay.topology import NodeId
@@ -82,7 +106,15 @@ class _CompiledEntry:
     the wants-all flag.
     """
 
-    __slots__ = ("entry_id", "profile", "conditions", "projection", "carried", "wants_all")
+    __slots__ = (
+        "entry_id",
+        "profile",
+        "conditions",
+        "projection",
+        "carried",
+        "wants_all",
+        "_evaluators",
+    )
 
     def __init__(self, entry_id: str, profile: Profile, stream: str) -> None:
         self.entry_id = entry_id
@@ -93,6 +125,9 @@ class _CompiledEntry:
         self.projection = profile.projection_for(stream)
         self.carried = profile.carried_attributes(stream)
         self.wants_all = self.projection == ALL_ATTRIBUTES
+        #: Column evaluators for :meth:`batch_mask`, compiled on first
+        #: use (many entries are only ever hit by the scalar path).
+        self._evaluators: Optional[Tuple] = None
 
     def covers(self, payload) -> bool:
         conditions = self.conditions
@@ -102,6 +137,31 @@ class _CompiledEntry:
             if condition.evaluate(payload):
                 return True
         return False
+
+    def batch_mask(self, batch: ColumnBatch) -> Mask:
+        """Per-datagram coverage of a same-stream batch.
+
+        Element ``i`` equals ``covers(batch.datagrams[i].payload)``:
+        the filter conditions (a disjunction) are evaluated as compiled
+        column masks OR-combined across conditions.
+        """
+        evaluators = self._evaluators
+        if evaluators is None:
+            evaluators = tuple(
+                compile_condition(condition) for condition in self.conditions
+            )
+            self._evaluators = evaluators
+        if not evaluators:
+            return [True] * batch.n
+        mask = evaluators[0](batch)
+        for evaluator in evaluators[1:]:
+            if all(mask):
+                break
+            mask = [
+                hit or extra
+                for hit, extra in zip(mask, evaluator(batch))
+            ]
+        return mask
 
 
 #: Compiled matching state for one (interface, stream):
@@ -128,30 +188,55 @@ class RoutingTable:
         node: NodeId,
         use_subsumption: bool = False,
         use_index: bool = True,
-        on_change: Optional[Callable[[], None]] = None,
+        on_change: Optional[Callable[[Optional[FrozenSet[str]]], None]] = None,
     ) -> None:
         self.node = node
         self._use_subsumption = use_subsumption
         self._use_index = use_index
-        #: Invoked after every state mutation (the network layer hooks
-        #: its cache invalidation here).
+        #: Invoked after every state mutation with the streams the
+        #: mutation touched (``None`` when unattributable); the network
+        #: layer hooks its shard-scoped cache invalidation here.
         self.on_change = on_change
-        #: Bumped on every mutation; all derived state keys on it.
+        #: Bumped on every mutation; monotone mutation counter.
         self.epoch = 0
         self._entries: Dict[object, Dict[str, Profile]] = {}
         #: interface -> stream -> entry id -> profile (install order
         #: preserved per bucket, mirroring ``_entries``).
         self._by_stream: Dict[object, Dict[str, Dict[str, Profile]]] = {}
-        #: (interface, stream) -> compiled plan, valid at ``_plans_epoch``.
-        self._plans: Dict[Tuple[object, str], _Plan] = {}
-        self._plans_epoch = 0
+        #: (interface, stream) -> (compiled plan, shard version it was
+        #: built at).  Entries revalidate lazily against the stream's
+        #: shard version, so a mutation touching stream S leaves the
+        #: cached plans of unrelated streams warm.
+        self._plans: Dict[Tuple[object, str], Tuple[_Plan, Tuple[int, int]]] = {}
+        #: shard index -> mutation count for streams hashing there.
+        self._shard_epochs: Dict[int, int] = {}
+        #: Bumped by mutations whose touched streams are unknown;
+        #: part of every shard version so they invalidate everything.
+        self._all_epoch = 0
+        #: stream -> shard index memo (crc32 paid once per stream).
+        self._shard_of: Dict[str, int] = {}
 
     # -- maintenance -----------------------------------------------------------
 
-    def _touch(self) -> None:
+    def _shard(self, stream: str) -> int:
+        shard = self._shard_of.get(stream)
+        if shard is None:
+            shard = stream_shard(stream)
+            self._shard_of[stream] = shard
+        return shard
+
+    def _touch(self, streams: Optional[Iterable[str]] = None) -> None:
         self.epoch += 1
+        if streams is None:
+            self._all_epoch += 1
+            notify: Optional[FrozenSet[str]] = None
+        else:
+            notify = frozenset(streams)
+            bumped = self._shard_epochs
+            for shard in sorted({self._shard(stream) for stream in notify}):
+                bumped[shard] = bumped.get(shard, 0) + 1
         if self.on_change is not None:
-            self.on_change()
+            self.on_change(notify)
 
     def _index_entry(self, interface: object, entry_id: str, profile: Profile) -> None:
         streams = self._by_stream.setdefault(interface, {})
@@ -178,6 +263,7 @@ class RoutingTable:
         it), meaning propagation beyond this node can stop.
         """
         entries = self._entries.setdefault(interface, {})
+        touched: Set[str] = set(profile.streams)
         # Local subscribers are delivery endpoints, not forwarding state:
         # every one needs its own entry (own projection), so covering
         # aggregation only applies to remote interfaces.
@@ -190,14 +276,16 @@ class RoutingTable:
                 sid for sid, p in entries.items() if profile.subsumes(p)
             ]
             for sid in redundant:
+                touched.update(entries[sid].streams)
                 self._unindex_entry(interface, sid, entries[sid])
                 del entries[sid]
         previous = entries.get(subscription_id)
         if previous is not None:
+            touched.update(previous.streams)
             self._unindex_entry(interface, subscription_id, previous)
         entries[subscription_id] = profile
         self._index_entry(interface, subscription_id, profile)
-        self._touch()
+        self._touch(touched)
         return True
 
     def remove(self, subscription_id: str) -> None:
@@ -207,6 +295,7 @@ class RoutingTable:
         layer installs under ``"<id>#<stream>"`` composite keys.
         """
         prefix = subscription_id + "#"
+        touched: Set[str] = set()
         changed = False
         for interface, entries in self._entries.items():
             doomed = [
@@ -215,17 +304,21 @@ class RoutingTable:
                 if key == subscription_id or key.startswith(prefix)
             ]
             for key in doomed:
+                touched.update(entries[key].streams)
                 self._unindex_entry(interface, key, entries[key])
                 del entries[key]
                 changed = True
         if changed:
-            self._touch()
+            self._touch(touched)
 
     def remove_interface(self, interface: object) -> None:
         removed = self._entries.pop(interface, None)
         self._by_stream.pop(interface, None)
         if removed:
-            self._touch()
+            touched: Set[str] = set()
+            for profile in removed.values():
+                touched.update(profile.streams)
+            self._touch(touched)
 
     def profiles(self, interface: object) -> List[Profile]:
         return list(self._entries.get(interface, {}).values())
@@ -264,27 +357,29 @@ class RoutingTable:
 
     def _plan(self, interface: object, stream: str) -> _Plan:
         """The compiled matchers for one (interface, stream), cached
-        until the next table mutation."""
-        if self._plans_epoch != self.epoch:
-            self._plans.clear()
-            self._plans_epoch = self.epoch
+        until the next mutation touching the stream's shard."""
         key = (interface, stream)
-        plan = self._plans.get(key)
-        if plan is None:
-            bucket = self._by_stream.get(interface, {}).get(stream)
-            if not bucket:
-                plan = _EMPTY_PLAN
-            else:
-                compiled = [
-                    _CompiledEntry(entry_id, profile, stream)
-                    for entry_id, profile in bucket.items()
-                ]
-                any_wants_all = any(e.wants_all for e in compiled)
-                bound = frozenset().union(
-                    *(e.carried for e in compiled if not e.wants_all)
-                )
-                plan = (compiled, any_wants_all, bound)
-            self._plans[key] = plan
+        version = (
+            self._shard_epochs.get(self._shard(stream), 0),
+            self._all_epoch,
+        )
+        cached = self._plans.get(key)
+        if cached is not None and cached[1] == version:
+            return cached[0]
+        bucket = self._by_stream.get(interface, {}).get(stream)
+        if not bucket:
+            plan = _EMPTY_PLAN
+        else:
+            compiled = [
+                _CompiledEntry(entry_id, profile, stream)
+                for entry_id, profile in bucket.items()
+            ]
+            any_wants_all = any(e.wants_all for e in compiled)
+            bound = frozenset().union(
+                *(e.carried for e in compiled if not e.wants_all)
+            )
+            plan = (compiled, any_wants_all, bound)
+        self._plans[key] = (plan, version)
         return plan
 
     # -- forwarding ------------------------------------------------------------
@@ -317,6 +412,55 @@ class RoutingTable:
         if not forward:
             return ForwardDecision(False)
         return ForwardDecision(True, frozenset(needed))
+
+    def decide_batch(
+        self, interface: object, batch: ColumnBatch
+    ) -> List[ForwardDecision]:
+        """Vectorized :meth:`decide` over a same-stream batch.
+
+        Element ``i`` equals ``decide(interface, batch.datagrams[i])``
+        — each compiled entry contributes one column-mask evaluation
+        for the whole batch instead of one scalar evaluation per
+        datagram.
+        """
+        if not self._use_index:
+            return [
+                self._decide_scan(interface, datagram)
+                for datagram in batch.datagrams
+            ]
+        compiled, __, __ = self._plan(interface, batch.stream)
+        n = batch.n
+        if not compiled:
+            return [ForwardDecision(False)] * n
+        forward = [False] * n
+        wants_all = [False] * n
+        needed: List[Optional[Set[str]]] = [None] * n
+        for entry in compiled:
+            mask = entry.batch_mask(batch)
+            if entry.wants_all:
+                for index, hit in enumerate(mask):
+                    if hit:
+                        forward[index] = True
+                        wants_all[index] = True
+            else:
+                carried = entry.carried
+                for index, hit in enumerate(mask):
+                    if hit and not wants_all[index]:
+                        forward[index] = True
+                        acc = needed[index]
+                        if acc is None:
+                            needed[index] = set(carried)
+                        else:
+                            acc |= carried
+        decisions: List[ForwardDecision] = []
+        for index in range(n):
+            if not forward[index]:
+                decisions.append(ForwardDecision(False))
+            elif wants_all[index]:
+                decisions.append(ForwardDecision(True, None))
+            else:
+                decisions.append(ForwardDecision(True, frozenset(needed[index])))
+        return decisions
 
     def _decide_scan(self, interface: object, datagram: Datagram) -> ForwardDecision:
         """The pre-index reference path: evaluate every profile behind
@@ -367,4 +511,52 @@ class RoutingTable:
                 out.append((entry.entry_id, datagram))
             else:
                 out.append((entry.entry_id, datagram.project(entry.projection)))
+        return out
+
+    def local_deliveries_batch(
+        self, batch: ColumnBatch
+    ) -> List[List[Tuple[str, Datagram]]]:
+        """Vectorized :meth:`local_deliveries` over a same-stream batch.
+
+        Element ``i`` equals ``local_deliveries(batch.datagrams[i])``
+        (same subscriptions, same order — entries append in compiled
+        install order).  Projection work is shared across the bucket's
+        subscriptions: per datagram, each distinct projection set is
+        materialised once and reused by every entry requesting it.
+        """
+        if not self._use_index:
+            return [
+                self.local_deliveries(datagram)
+                for datagram in batch.datagrams
+            ]
+        compiled, __, __ = self._plan(self.LOCAL, batch.stream)
+        out: List[List[Tuple[str, Datagram]]] = [[] for __ in range(batch.n)]
+        if not compiled:
+            return out
+        datagrams = batch.datagrams
+        #: per datagram, projection set -> the shared projected copy.
+        projected: List[Optional[Dict[FrozenSet[str], Datagram]]] = [
+            None
+        ] * batch.n
+        for entry in compiled:
+            mask = entry.batch_mask(batch)
+            entry_id = entry.entry_id
+            if entry.wants_all:
+                for index, hit in enumerate(mask):
+                    if hit:
+                        out[index].append((entry_id, datagrams[index]))
+            else:
+                keep = entry.projection
+                for index, hit in enumerate(mask):
+                    if not hit:
+                        continue
+                    cache = projected[index]
+                    if cache is None:
+                        cache = {}
+                        projected[index] = cache
+                    copy = cache.get(keep)
+                    if copy is None:
+                        copy = datagrams[index].project(keep)
+                        cache[keep] = copy
+                    out[index].append((entry_id, copy))
         return out

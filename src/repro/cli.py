@@ -9,7 +9,7 @@
     python -m repro demo                   # the quickstart scenario + monitor
     python -m repro check [--workload W] [--strict]   # workload static analysis
     python -m repro check --self [--strict] [--code SPEC] [--json]  # source lint
-    python -m repro chaos [--seed N | --seeds N] [--recovery] [--conform] [--trace] [--json PATH]
+    python -m repro chaos [--seed N | --seeds N] [--nodes N] [--recovery] [--conform] [--trace] [--json PATH]
     python -m repro flow [--json | --dot]  # extracted protocol model
 """
 
@@ -68,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument(
         "--faults", type=int, default=2, help="crash events per run (default 2)"
+    )
+    ch.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="overlay size per run (default 18; the scale smoke uses 1000)",
     )
     ch.add_argument(
         "--recovery",
@@ -326,6 +332,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     list (``--no-shrink`` to skip) and the exit code is 1.
     """
     import json
+    from dataclasses import replace
 
     from repro.sim import ChaosConfig, generate_schedule, run_schedule
 
@@ -341,6 +348,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         config = ChaosConfig(
             seed=seed, n_faults=args.faults, recovery=args.recovery
         )
+        if args.nodes is not None:
+            config = replace(config, n_nodes=args.nodes)
         schedule = generate_schedule(config)
         report = run_schedule(config, schedule.events)
         print(report.render())

@@ -72,6 +72,25 @@ class DisseminationTree:
     # -- constructors -------------------------------------------------------------
 
     @classmethod
+    def _from_parts(
+        cls,
+        adjacency: Dict[NodeId, Set[NodeId]],
+        weights: Dict[Edge, float],
+    ) -> "DisseminationTree":
+        """Internal: wrap pre-validated tree parts without re-checking.
+
+        Callers (the incremental overlay maintainer, :meth:`remove_node`)
+        guarantee the structure is consistent; ``adjacency`` and
+        ``weights`` are taken by reference and must not be mutated
+        afterwards.  Skipping the O(n) connectivity re-validation is
+        what makes lazy tree materialisation cheap at 10k nodes.
+        """
+        tree = cls.__new__(cls)
+        tree._adjacency = adjacency
+        tree._weights = weights
+        return tree
+
+    @classmethod
     def minimum_spanning(cls, topology: Topology) -> "DisseminationTree":
         """The MST dissemination tree the paper's experiments use."""
         edges = topology.minimum_spanning_tree_edges()
@@ -262,7 +281,7 @@ class DisseminationTree:
                         frontier.append(other)
             components.append(seen)
             remaining -= seen
-        forest = DisseminationTree.__new__(DisseminationTree)
-        forest._adjacency = adjacency
-        forest._weights = {e: w for e, w in self._weights.items() if node not in e}
+        forest = DisseminationTree._from_parts(
+            adjacency, {e: w for e, w in self._weights.items() if node not in e}
+        )
         return components, forest

@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cbn.datagram import Datagram
 from repro.cbn.network import ContentBasedNetwork, Delivery
@@ -307,12 +307,42 @@ class CosmosSystem:
         """
         node = self.source_node(stream)
         datagram = Datagram(stream, payload, timestamp, seq)
+        return self._drive([datagram], node)
+
+    def publish_batch(
+        self,
+        stream: str,
+        tuples: Sequence[Tuple[Dict[str, object], float]],
+    ) -> List[Delivery]:
+        """Inject a batch of source tuples of one stream end to end.
+
+        ``tuples`` is a sequence of ``(payload, timestamp)`` pairs.  The
+        whole batch enters the CBN as one ``publish_many`` call, so the
+        columnar batch plans evaluate it once per bucket.  Processors
+        still see the tuples in order, and every query handle
+        accumulates exactly the results sequential :meth:`publish`
+        calls would produce; only the interleaving of the returned flat
+        delivery list may differ (grouped per routing batch rather than
+        per source tuple).
+        """
+        node = self.source_node(stream)
+        batch = [
+            Datagram(stream, payload, timestamp)
+            for payload, timestamp in tuples
+        ]
+        if not batch:
+            return []
+        return self._drive(batch, node)
+
+    def _drive(self, batch: List[Datagram], node: NodeId) -> List[Delivery]:
+        """Route a source batch end to end: CBN to processors, SPE
+        evaluation, result publication, CBN to users."""
         user_deliveries: List[Delivery] = []
         # Each pending item is a batch of datagrams injected at one
-        # broker: the source tuple first, then whole result batches
+        # broker: the source tuples first, then whole result batches
         # from each SPE evaluation, published via publish_many so the
         # per-stream routing setup is paid once per batch.
-        pending: List[tuple] = [([datagram], node)]
+        pending: List[tuple] = [(batch, node)]
         while pending:
             batch, origin = pending.pop(0)
             for deliveries in self.network.publish_many(batch, origin):

@@ -9,7 +9,11 @@
   Table 1 (OpenAuction / ClosedAuction);
 * :mod:`repro.workload.queries` — the random query generator ("randomly
   selecting the involved streams, their window sizes and the filtering
-  predicates based on a distribution (uniform or zipfian)").
+  predicates based on a distribution (uniform or zipfian)");
+* :mod:`repro.workload.fastpath` — the matching-heavy publish workload
+  shared by the fast-path/columnar benchmarks and their pytest gates;
+* :mod:`repro.workload.bench` — the shared warm/timed/equivalence
+  measurement harness those benchmarks run the workload through.
 """
 
 from __future__ import annotations
@@ -22,6 +26,17 @@ from repro.workload.auction import (
     TABLE1_Q2,
     TABLE1_Q3,
 )
+from repro.workload.bench import (
+    best_of,
+    group_feed,
+    publish_batched,
+    publish_batched_time,
+    publish_loop,
+    publish_loop_time,
+    snapshot,
+    stats_equal,
+)
+from repro.workload.fastpath import FastPathWorkload, build_fastpath_workload
 from repro.workload.queries import QueryWorkload, WorkloadConfig
 from repro.workload.sensorscope import sensorscope_catalog, SensorScopeReplayer
 from repro.workload.zipf import ZipfSampler
@@ -29,6 +44,7 @@ from repro.workload.zipf import ZipfSampler
 __all__ = [
     "AuctionWorkload",
     "CLOSED_AUCTION_SCHEMA",
+    "FastPathWorkload",
     "OPEN_AUCTION_SCHEMA",
     "QueryWorkload",
     "SensorScopeReplayer",
@@ -37,5 +53,14 @@ __all__ = [
     "TABLE1_Q3",
     "WorkloadConfig",
     "ZipfSampler",
+    "best_of",
+    "build_fastpath_workload",
+    "group_feed",
+    "publish_batched",
+    "publish_batched_time",
+    "publish_loop",
+    "publish_loop_time",
     "sensorscope_catalog",
+    "snapshot",
+    "stats_equal",
 ]

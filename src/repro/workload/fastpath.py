@@ -43,12 +43,19 @@ def build_fastpath_workload(
     wants_all_fraction: float = 0.2,
     filter_fraction: float = 0.7,
     seed: int = 7,
+    batch_size: int = 1,
 ) -> FastPathWorkload:
     """Build the matching-heavy workload with the fast path on or off.
 
     Everything is seeded, so ``fast_path=True`` and ``fast_path=False``
     produce networks with byte-for-byte identical routing state and an
     identical feed — the only difference is the publish path taken.
+
+    ``batch_size`` shapes the feed into contiguous same-stream runs of
+    that length (a publisher emitting bursts), which is the regime the
+    columnar batch path exploits: ``publish_many`` evaluates each run's
+    bucket plans once per batch.  The default of 1 keeps the historical
+    one-datagram-per-stream-pick feed.
     """
     rng = random.Random(seed)
     catalog = sensorscope_catalog(n_streams, rng=random.Random(seed))
@@ -84,12 +91,11 @@ def build_fastpath_workload(
 
     data = random.Random(seed + 2)
     feed: List[Tuple[Datagram, int]] = []
-    for index in range(n_datagrams):
+    while len(feed) < n_datagrams:
         stream = data.choice(streams)
-        payload = {
-            a.name: data.randint(-5, 40) for a in catalog.get(stream).attributes
-        }
-        feed.append(
-            (Datagram(stream, payload, float(index)), network.publishers_of(stream)[0])
-        )
+        origin = network.publishers_of(stream)[0]
+        attrs = catalog.get(stream).attributes
+        for __ in range(min(batch_size, n_datagrams - len(feed))):
+            payload = {a.name: data.randint(-5, 40) for a in attrs}
+            feed.append((Datagram(stream, payload, float(len(feed))), origin))
     return FastPathWorkload(network, feed)

@@ -205,10 +205,11 @@ class TestEpoch:
 
     def test_on_change_called_per_mutation(self):
         calls = []
-        table = RoutingTable(0, on_change=lambda: calls.append(1))
+        table = RoutingTable(0, on_change=calls.append)
         table.install(1, "s1", profile({"a"}))
         table.remove("s1")
-        assert len(calls) == 2
+        # One call per mutation, reporting the streams it touched.
+        assert calls == [frozenset({"S"}), frozenset({"S"})]
 
     def test_suppressed_install_keeps_epoch(self):
         table = RoutingTable(0, use_subsumption=True)

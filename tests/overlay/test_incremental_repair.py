@@ -1,0 +1,158 @@
+"""Incremental spanning-tree repair equals the full MST recompute.
+
+:class:`repro.overlay.optimizer.IncrementalOverlay` repairs the
+dissemination tree locally on churn — join attaches through the cut
+property plus edge-insertion improvements, leave reconnects the
+orphaned fragments through cached neighbour candidates, re-weight
+re-audits the affected cut.  The invariant these properties pin down:
+after *any* random churn sequence the maintained tree is a spanning
+tree of the surviving topology whose total weight equals a from-scratch
+:meth:`Topology.minimum_spanning_tree_edges` recompute (MSTs may differ
+edge-wise only under weight ties; Euclidean BRITE weights make ties
+measure-zero, so we compare total weight).
+
+A leave that would disconnect the *physical* topology is the one
+documented non-local case: the optimizer raises ``TopologyError`` (the
+reliability layer owns partition recovery), so churn sequences precheck
+connectivity, mirroring what the membership layer guarantees.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.optimizer import IncrementalOverlay
+from repro.overlay.topology import Topology, barabasi_albert, edge_key
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def still_connected(topology: Topology, victim) -> bool:
+    """Would the physical topology stay connected without ``victim``?"""
+    survivors = [n for n in topology.nodes if n != victim]
+    if not survivors:
+        return False
+    seen = {survivors[0]}
+    frontier = [survivors[0]]
+    while frontier:
+        node = frontier.pop()
+        for other in sorted(topology.neighbors(node)):
+            if other != victim and other not in seen:
+                seen.add(other)
+                frontier.append(other)
+    return len(seen) == len(survivors)
+
+
+def assert_matches_recompute(overlay: IncrementalOverlay) -> None:
+    """Spanning tree + exact Kruskal weight, checked from scratch."""
+    topology = overlay.topology
+    edges = overlay.tree_edges
+    assert len(edges) == len(topology) - 1
+    tree = overlay.tree
+    assert sorted(tree.nodes) == topology.nodes
+    mst_edges = topology.minimum_spanning_tree_edges()
+    full_weight = sum(topology.weights[e] for e in mst_edges)
+    assert abs(overlay.total_weight() - full_weight) < 1e-6
+
+
+class TestIncrementalRepairProperties:
+    @given(seeds, st.integers(min_value=6, max_value=25), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_churn_matches_full_recompute(self, seed, n, data):
+        """join/leave/re-weight churn in any order: weight-exact MST."""
+        rng = random.Random(seed)
+        topology = barabasi_albert(n, 2, rng)
+        overlay = IncrementalOverlay(topology)
+        next_id = n
+        n_events = data.draw(st.integers(min_value=1, max_value=12),
+                             label="n_events")
+        applied = 0
+        for index in range(n_events):
+            nodes = topology.nodes
+            choices = ["join", "reweight"]
+            if len(nodes) > 4:
+                choices.append("leave")
+            op = data.draw(st.sampled_from(choices), label=f"op{index}")
+            if op == "join":
+                degree = data.draw(st.integers(min_value=1, max_value=3),
+                                   label=f"deg{index}")
+                targets = data.draw(
+                    st.sets(st.sampled_from(nodes), min_size=degree,
+                            max_size=degree),
+                    label=f"targets{index}",
+                )
+                links = {
+                    target: float(data.draw(st.integers(1, 1000),
+                                            label=f"w{index}-{target}"))
+                    for target in sorted(targets)
+                }
+                overlay.join(next_id, links)
+                next_id += 1
+                applied += 1
+            elif op == "leave":
+                victim = data.draw(st.sampled_from(nodes), label=f"leave{index}")
+                if not still_connected(topology, victim):
+                    continue  # partition recovery is the reliability layer's job
+                overlay.leave(victim)
+                applied += 1
+            else:
+                edge = data.draw(st.sampled_from(sorted(topology.weights)),
+                                 label=f"edge{index}")
+                weight = float(data.draw(st.integers(1, 1000),
+                                         label=f"rw{index}"))
+                overlay.reweight(*edge, weight)
+                applied += 1
+            assert_matches_recompute(overlay)
+        # Every applied event was serviced by a local repair or a
+        # (counted) fallback rebuild — nothing happens silently.
+        assert overlay.local_repairs == applied
+
+    @given(seeds, st.integers(min_value=6, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_leave_then_rejoin_roundtrip(self, seed, n):
+        """Every connectivity-safe leave followed by rejoining the same
+        node with its old links lands back on a weight-exact MST."""
+        rng = random.Random(seed)
+        topology = barabasi_albert(n, 2, rng)
+        overlay = IncrementalOverlay(topology)
+        victims = [node for node in topology.nodes][:5]
+        for victim in victims:
+            if not still_connected(topology, victim):
+                continue
+            links = {
+                other: topology.weight(victim, other)
+                for other in sorted(topology.neighbors(victim))
+            }
+            overlay.leave(victim)
+            assert_matches_recompute(overlay)
+            # Survivors keep only surviving links.
+            overlay.join(victim, links)
+            assert_matches_recompute(overlay)
+
+    @given(seeds, st.integers(min_value=6, max_value=20), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_reweight_storm_matches_recompute(self, seed, n, data):
+        """Repeated re-weights of random links (tree and non-tree, up
+        and down) never drift from the from-scratch MST weight."""
+        rng = random.Random(seed)
+        topology = barabasi_albert(n, 2, rng)
+        overlay = IncrementalOverlay(topology)
+        for index in range(data.draw(st.integers(1, 10), label="n_storm")):
+            edge = data.draw(st.sampled_from(sorted(topology.weights)),
+                             label=f"edge{index}")
+            weight = float(data.draw(st.integers(1, 2000), label=f"w{index}"))
+            overlay.reweight(*edge, weight)
+            assert_matches_recompute(overlay)
+
+    @given(seeds, st.integers(min_value=6, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_fallback_full_rebuild_is_exact(self, seed, n):
+        """Even when the optimizer falls back to a full rebuild, the
+        result is the exact MST (the counter just records the miss)."""
+        rng = random.Random(seed)
+        topology = barabasi_albert(n, 2, rng)
+        overlay = IncrementalOverlay(topology)
+        overlay._full_rebuild()
+        assert overlay.full_rebuilds == 1
+        assert_matches_recompute(overlay)

@@ -16,9 +16,12 @@ root::
       "equivalent": true
     }
 
-Scale is kept small enough for an offline CI smoke step (a couple of
-seconds); the pytest benchmark ``test_cbn_fastpath_speedup`` is the
-authoritative >=3x gate at full scale.
+Measurement and equivalence procedures come from
+:mod:`repro.workload.bench` — the same harness the pytest gate
+``test_cbn_fastpath_speedup`` and ``tools/bench_scale.py`` use, so the
+artifact and the gates cannot drift on methodology.  Scale is kept
+small enough for an offline CI smoke step (a couple of seconds); the
+pytest benchmark is the authoritative >=3x gate at full scale.
 """
 
 from __future__ import annotations
@@ -26,10 +29,15 @@ from __future__ import annotations
 import json
 import pathlib
 import sys
-import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro.workload.bench import (  # noqa: E402
+    best_of,
+    publish_loop,
+    publish_loop_time,
+    stats_equal,
+)
 from repro.workload.fastpath import build_fastpath_workload  # noqa: E402
 
 WORKLOAD = dict(
@@ -41,39 +49,17 @@ WORKLOAD = dict(
 REPS = 3
 
 
-def warm(workload):
-    deliveries = [
-        workload.network.publish(datagram, origin)
-        for datagram, origin in workload.feed
-    ]
-    return [
-        [(d.subscription_id, d.node, d.datagram) for d in per_datagram]
-        for per_datagram in deliveries
-    ]
-
-
-def timed(workload):
-    start = time.perf_counter()
-    for datagram, origin in workload.feed:
-        workload.network.publish(datagram, origin)
-    return time.perf_counter() - start
-
-
 def main() -> int:
     fast = build_fastpath_workload(fast_path=True, **WORKLOAD)
     slow = build_fastpath_workload(fast_path=False, **WORKLOAD)
-    fast_out = warm(fast)
-    slow_out = warm(slow)
-    # Interleave the timed reps so both paths sample the same machine
-    # conditions; keep the best rep of each.
-    fast_time = slow_time = float("inf")
-    for __ in range(REPS):
-        fast_time = min(fast_time, timed(fast))
-        slow_time = min(slow_time, timed(slow))
-    equivalent = (
-        fast_out == slow_out
-        and fast.network.data_stats.as_dict() == slow.network.data_stats.as_dict()
+    fast_out = publish_loop(fast.network, fast.feed)
+    slow_out = publish_loop(slow.network, slow.feed)
+    fast_time, slow_time = best_of(
+        REPS,
+        lambda: publish_loop_time(fast.network, fast.feed),
+        lambda: publish_loop_time(slow.network, slow.feed),
     )
+    equivalent = fast_out == slow_out and stats_equal(fast.network, slow.network)
     n = WORKLOAD["n_datagrams"]
     result = {
         "workload": dict(WORKLOAD, reps=REPS),

@@ -27,6 +27,12 @@ PYTHONPATH=src:. python -m pytest -x -q
 echo "== bench smoke (publish fast path) =="
 python tools/bench_publish.py
 
+echo "== bench scale (columnar batch plane, 10x floor; incremental repair) =="
+python tools/bench_scale.py
+
+echo "== chaos scale smoke (1000-node overlay, recovery + conformance) =="
+PYTHONPATH=src python -m repro chaos --seeds 3 --nodes 1000 --recovery --conform --json BENCH_chaos_scale.json
+
 echo "== chaos smoke (seeded fault injection) =="
 PYTHONPATH=src python -m repro chaos --seeds 25 --json BENCH_chaos.json
 
