@@ -62,6 +62,40 @@ _REPAIR = re.compile(
     r"applied|degraded \[(?P<queries>.*)\]|retry \d+ .*|gave up .*)$"
 )
 _FLUSH = re.compile(r"^flush \d+ tuples -> \d+ deliveries$")
+_MIGRATE_PROBE = re.compile(
+    r"^migrate t=\S+ (?:scan|rebalance) -> (?:"
+    r"(?P<hot>\d+) hotspots \[(?P<hotnames>[^\]]*)\]|node=\d+|idle|inert)$"
+)
+_MIGRATE_SKIP = re.compile(
+    r"^migrate_skip t=\S+ node=\d+ reason="
+    r"(?:no-source|no-group|in-flight|no-target|degraded)$"
+)
+_MIGRATE_START = re.compile(
+    r"^migrate_start t=\S+ group=(?P<gid>\S+) n(?P<src>\d+)->n(?P<dst>\d+)"
+    r" quarantined \[(?P<names>[^\]]*)\]$"
+)
+_MIGRATE_DRAIN = re.compile(
+    r"^drain t=\S+ group=(?P<gid>\S+) n(?P<src>\d+)->n(?P<dst>\d+)"
+    r" chunks=(?P<chunks>\d+)$"
+)
+_MIGRATE_RETRY = re.compile(
+    r"^migrate_retry t=\S+ group=(?P<gid>\S+) target=n(?P<dst>\d+)"
+    r" attempt=(?P<attempt>\d+)$"
+)
+_MIGRATE_CUTOVER = re.compile(
+    r"^cutover t=\S+ group=(?P<gid>\S+) n(?P<src>\d+)->n(?P<dst>\d+)"
+    r" moved \[(?P<names>[^\]]*)\]$"
+)
+_MIGRATE_ABORT = re.compile(
+    r"^migrate_abort t=\S+ group=(?P<gid>\S+) n(?P<src>\d+)->n(?P<dst>\d+)"
+    r" (?P<reason>source-lost|target-lost|superseded|handoff-gaps)"
+    r" resumed \[(?P<names>[^\]]*)\]$"
+)
+
+
+def _listed(names: str) -> List[str]:
+    """The query names inside a rendered ``[a,b]`` / ``[-]`` list."""
+    return [] if names in ("", "-") else names.split(",")
 
 
 class _Walker:
@@ -121,17 +155,28 @@ def conformance_violations(
     machines: Sequence[StateMachine],
     reliability: Optional[Mapping[str, int]] = None,
     recovery: bool = False,
+    load: Optional[Mapping[str, int]] = None,
 ) -> List[str]:
     """Every way the observed run disagrees with the extracted model.
 
     ``trace_lines`` is the rendered :class:`ChaosTrace` (one record per
     line); ``reliability`` the recovery counters snapshot when the run
-    had ``recovery`` on.  Returns an empty list when the run conforms.
+    had ``recovery`` on; ``load`` the load-management counters snapshot
+    (every check there is exact — the migration protocol has no silent
+    paths).  Returns an empty list when the run conforms.
     """
     violations: List[str] = []
     uplink = _Walker(_machine(machines, "uplink-receiver"))
     nodes = _Walker(_machine(machines, "node-supervision"))
     status = _Walker(_machine(machines, "QueryStatus"))
+    #: Built on the first migration record, so machine sets that predate
+    #: the load manager still replay migration-free traces.
+    migrations: Optional[_Walker] = None
+    #: (gid, src, dst) -> entity of the in-flight migration, plus a
+    #: generation counter so a group migrated twice gets fresh entities.
+    in_flight: Dict[Tuple[str, str, str], str] = {}
+    generation: Dict[Tuple[str, str, str], int] = {}
+    retry_attempt: Dict[Tuple[str, str], int] = {}
     last_attempt: Dict[Tuple[str, str], int] = {}
     counts = {
         "suppressed": 0,
@@ -141,12 +186,24 @@ def conformance_violations(
         "suspect": 0,
         "repair_applied": 0,
         "quarantined": 0,
+        "hotspots": 0,
+        "migrate_start": 0,
+        "migrate_retry": 0,
+        "migrate_abort": 0,
+        "cutover": 0,
+        "chunks": 0,
     }
 
     def walk(walker: _Walker, entity: str, label: str) -> None:
         violation = walker.step(entity, label)
         if violation is not None:
             violations.append(violation)
+
+    def migration_walker() -> _Walker:
+        nonlocal migrations
+        if migrations is None:
+            migrations = _Walker(_machine(machines, "MigrationState"))
+        return migrations
 
     for line in trace_lines:
         line = line.strip()
@@ -236,6 +293,99 @@ def conformance_violations(
             else:
                 walk(nodes, m.group("node"), "gave_up")
             continue
+        m = _MIGRATE_PROBE.match(line)
+        if m is not None:
+            if m.group("hot") is not None:
+                hot = int(m.group("hot"))
+                counts["hotspots"] += hot
+                if len(_listed(m.group("hotnames"))) != hot:
+                    violations.append(
+                        f"scan record claims {hot} hotspots but names "
+                        f"[{m.group('hotnames')}]"
+                    )
+            continue
+        if _MIGRATE_SKIP.match(line):
+            continue
+        m = _MIGRATE_START.match(line)
+        if m is not None:
+            counts["migrate_start"] += 1
+            key = (m.group("gid"), m.group("src"), m.group("dst"))
+            if key in in_flight:
+                violations.append(
+                    f"migration {m.group('gid')} n{m.group('src')}->"
+                    f"n{m.group('dst')} started while already in flight"
+                )
+            generation[key] = generation.get(key, 0) + 1
+            entity = (
+                f"{m.group('gid')} n{m.group('src')}->n{m.group('dst')}"
+                f" #{generation[key]}"
+            )
+            in_flight[key] = entity
+            for query in _listed(m.group("names")):
+                walk(status, query, "quarantine_for_migration")
+            continue
+        m = _MIGRATE_DRAIN.match(line)
+        if m is not None:
+            counts["chunks"] += int(m.group("chunks"))
+            key = (m.group("gid"), m.group("src"), m.group("dst"))
+            entity = in_flight.get(key)
+            if entity is None:
+                violations.append(
+                    f"drain record for {m.group('gid')} without an "
+                    "in-flight migration"
+                )
+                continue
+            walk(migration_walker(), entity, "start_drain")
+            continue
+        m = _MIGRATE_RETRY.match(line)
+        if m is not None:
+            counts["migrate_retry"] += 1
+            attempt = int(m.group("attempt"))
+            key = (m.group("gid"), m.group("dst"))
+            # The first retry record announces attempt 2 (attempt 1 was
+            # the drain-scheduled cutover itself).
+            expected = retry_attempt.get(key, 1) + 1
+            if attempt != expected:
+                violations.append(
+                    f"migration {m.group('gid')} retry attempt {attempt} "
+                    f"observed, expected {expected} (capped backoff must "
+                    "count contiguously)"
+                )
+            retry_attempt[key] = attempt
+            continue
+        m = _MIGRATE_CUTOVER.match(line)
+        if m is not None:
+            counts["cutover"] += 1
+            key = (m.group("gid"), m.group("src"), m.group("dst"))
+            entity = in_flight.pop(key, None)
+            retry_attempt.pop((m.group("gid"), m.group("dst")), None)
+            if entity is None:
+                violations.append(
+                    f"cutover record for {m.group('gid')} without an "
+                    "in-flight migration"
+                )
+                continue
+            walk(migration_walker(), entity, "cut_over")
+            walk(migration_walker(), entity, "complete")
+            for query in _listed(m.group("names")):
+                walk(status, query, "resume_after_migration")
+            continue
+        m = _MIGRATE_ABORT.match(line)
+        if m is not None:
+            counts["migrate_abort"] += 1
+            key = (m.group("gid"), m.group("src"), m.group("dst"))
+            entity = in_flight.pop(key, None)
+            retry_attempt.pop((m.group("gid"), m.group("dst")), None)
+            if entity is None:
+                violations.append(
+                    f"abort record for {m.group('gid')} without an "
+                    "in-flight migration"
+                )
+                continue
+            walk(migration_walker(), entity, "abort")
+            for query in _listed(m.group("names")):
+                walk(status, query, "resume_after_migration")
+            continue
         violations.append(f"unrecognized trace record: {line!r}")
 
     if recovery and reliability is not None:
@@ -262,4 +412,27 @@ def conformance_violations(
                     f"({name} {op} {observed} expected from "
                     f"{observed} matching record(s))"
                 )
+
+    for (gid, src, dst), entity in sorted(in_flight.items()):
+        violations.append(
+            f"migration {gid} n{src}->n{dst} ({entity}) still in flight "
+            "at trace end — neither cutover nor abort was recorded"
+        )
+    if load is not None:
+        load_checks = [
+            ("migrations_started", counts["migrate_start"]),
+            ("migrations_completed", counts["cutover"]),
+            ("migrations_aborted", counts["migrate_abort"]),
+            ("migrations_retried", counts["migrate_retry"]),
+            ("hotspots_detected", counts["hotspots"]),
+            ("state_chunks_sent", counts["chunks"]),
+        ]
+        for name, observed in load_checks:
+            recorded = load.get(name)
+            if recorded is None or recorded == observed:
+                continue
+            violations.append(
+                f"counter {name}={recorded} disagrees with trace "
+                f"({observed} matching record(s))"
+            )
     return violations

@@ -57,6 +57,11 @@ DEFAULT_PROTOCOL_CLASSES: Dict[str, Tuple[str, ...]] = {
     ),
     "cbn/network.py": ("ContentBasedNetwork",),
     "system/events.py": ("EventSimulator",),
+    "system/loadmgr.py": (
+        "HotspotDetector",
+        "GroupMigration",
+        "MigrationChannel",
+    ),
 }
 
 #: Module-level protocol functions (quarantine/heal control signals).
@@ -65,6 +70,15 @@ DEFAULT_PROTOCOL_FUNCTIONS: Dict[str, Tuple[str, ...]] = {
         "attach_reliability",
         "quarantine_partitioned",
         "heal_partition",
+    ),
+    "system/loadmgr.py": (
+        "attach_load_manager",
+        "placement_cost",
+        "choose_target",
+        "capture_group_state",
+        "quarantine_for_migration",
+        "resume_after_migration",
+        "cutover_group",
     ),
 }
 

@@ -227,6 +227,9 @@ DEFAULT_MACHINE_SPECS: Tuple[MachineSpec, ...] = (
 ENUM_TERMINAL_POLICY: Dict[str, Tuple[str, ...]] = {
     # A DEGRADED query must stay healable; an ACTIVE one quarantinable.
     "QueryStatus": (),
+    # A live migration must finish or roll back; the in-flight states
+    # (PREPARING/DRAINING/CUTOVER) may never be where a group parks.
+    "MigrationState": ("COMPLETED", "ABORTED"),
 }
 
 

@@ -83,6 +83,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "exact pristine feed (zero tolerated losses)",
     )
     ch.add_argument(
+        "--migrate",
+        action="store_true",
+        help="adaptive load management: schedules carry hotspot scans "
+        "plus a forced rebalance probe, and hot query groups move "
+        "between processors by zero-loss live migration (requires "
+        "--recovery)",
+    )
+    ch.add_argument(
         "--conform",
         action="store_true",
         help="replay each run's trace against the statically extracted "
@@ -332,10 +340,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     list (``--no-shrink`` to skip) and the exit code is 1.
     """
     import json
+    import sys
     from dataclasses import replace
 
     from repro.sim import ChaosConfig, generate_schedule, run_schedule
 
+    if args.migrate and not args.recovery:
+        print(
+            "repro chaos: --migrate requires --recovery (zero-loss "
+            "migration rides the recovery ordering stage)",
+            file=sys.stderr,
+        )
+        return 2
     seeds = [args.seed] if args.seed is not None else list(range(args.seeds))
     machines = None
     if args.conform:
@@ -346,7 +362,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     failed = False
     for seed in seeds:
         config = ChaosConfig(
-            seed=seed, n_faults=args.faults, recovery=args.recovery
+            seed=seed,
+            n_faults=args.faults,
+            recovery=args.recovery,
+            migrate=args.migrate,
         )
         if args.nodes is not None:
             config = replace(config, n_nodes=args.nodes)
@@ -375,6 +394,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "violations": report.violations,
             **counters,
         }
+        record["health"] = report.health
         if args.recovery:
             record["convergence_time"] = report.convergence_time
             record["reliability"] = report.reliability
@@ -384,6 +404,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 machines,
                 report.reliability,
                 args.recovery,
+                load=report.health,
             )
             record["conformance_violations"] = conform
             if conform:
@@ -413,6 +434,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "queries_quarantined",
         ):
             totals[key] = sum(r["reliability"][key] for r in records)
+    if args.migrate:
+        for key in (
+            "hotspots_detected",
+            "migrations_started",
+            "migrations_completed",
+            "migrations_aborted",
+            "migrations_retried",
+        ):
+            totals[key] = sum(r["health"][key] for r in records)
     print(
         "chaos totals: "
         + " ".join(f"{key}={value}" for key, value in totals.items())

@@ -224,6 +224,24 @@ class GroupingOptimizer:
             group.representative, self.catalog
         )
 
+    def extract_group(self, group_id: str) -> List[ContinuousQuery]:
+        """Remove a whole group intact; returns its members in order.
+
+        Unlike :meth:`remove` there is no recomposition — the group
+        leaves as one unit (live migration moves groups whole, so the
+        merge the optimizer found is preserved at the destination).
+        """
+        group = self._groups.pop(group_id, None)
+        if group is None:
+            raise KeyError(f"unknown group {group_id!r}")
+        key = self._structure_key(group.representative)
+        self._index[key] = [
+            gid for gid in self._index.get(key, []) if gid != group_id
+        ]
+        for member in group.members:
+            del self._group_of_query[member.name]
+        return list(group.members)
+
     def reoptimize(self) -> int:
         """Rebuild the grouping from scratch (periodic re-grouping).
 

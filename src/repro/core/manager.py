@@ -179,6 +179,20 @@ class QueryManager:
         self._sync_spe(survivor, self._result_stream_of(survivor))
         return survivor
 
+    def release_group(self, group_id: str) -> List[ContinuousQuery]:
+        """Tear a whole group off this manager for live migration.
+
+        The representative is deregistered from the SPE and the group
+        leaves the grouping optimizer intact; the member queries are
+        returned in group order so the receiving manager can re-accept
+        them and reproduce the merge.
+        """
+        members = self.grouping.extract_group(group_id)
+        registered = self._registered.pop(group_id, None)
+        if registered is not None:
+            self.spe.deregister(registered)
+        return members
+
     # -- introspection -------------------------------------------------------------
 
     @property

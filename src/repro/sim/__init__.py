@@ -38,6 +38,7 @@ from repro.sim.schedule import (
     FaultEvent,
     InjectEvent,
     LinkModel,
+    MigrationEvent,
     PunctuationEvent,
     merge_events,
     perturb_feed,
@@ -56,6 +57,7 @@ __all__ = [
     "FaultEvent",
     "InjectEvent",
     "LinkModel",
+    "MigrationEvent",
     "PunctuationEvent",
     "VirtualNetwork",
     "build_system",

@@ -63,12 +63,26 @@ from repro.sim.schedule import (
     DropEvent,
     FaultEvent,
     InjectEvent,
+    MigrationEvent,
     PunctuationEvent,
 )
 from repro.sim.trace import ChaosTrace
 from repro.system.cosmos import CosmosSystem
 from repro.system.events import EventSimulator
 from repro.system.fault import FaultError, fail_broker, fail_processor
+from repro.system.loadmgr import (
+    GroupMigration,
+    LoadParams,
+    LoadState,
+    MigrationChannel,
+    attach_load_manager,
+    capture_group_state,
+    choose_target,
+    cutover_group,
+    quarantine_for_migration,
+    resume_after_migration,
+)
+from repro.system.monitor import SystemMonitor
 from repro.system.reliability import (
     ReliabilityParams,
     ReliabilityState,
@@ -119,7 +133,11 @@ class VirtualNetwork:
     check_fast_path: bool = True
     #: Run the schedule through the self-healing reliability path.
     recovery: bool = False
+    #: Execute migration probes (requires ``recovery``: zero-loss
+    #: migration rides the ordering stage's deferred publication).
+    migrate: bool = False
     params: Optional[ReliabilityParams] = None
+    load_params: Optional[LoadParams] = None
     primary: CosmosSystem = field(init=False)
     shadow: Optional[CosmosSystem] = field(init=False)
     trace: ChaosTrace = field(init=False, default_factory=ChaosTrace)
@@ -130,11 +148,19 @@ class VirtualNetwork:
     effective_feed: List[Datagram] = field(init=False, default_factory=list)
     #: Shared protocol brain (primary's ReliabilityState) in recovery mode.
     state: Optional[ReliabilityState] = field(init=False, default=None)
+    #: Shared load-management brain in migration mode; ``None`` keeps the
+    #: whole migration machinery inert (``system.load`` stays unset).
+    load: Optional[LoadState] = field(init=False, default=None)
     #: Simulated time of the last self-healing action (repair applied,
     #: retransmission released, gap abandoned); ``None`` = never needed.
     last_recovery_time: Optional[float] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
+        if self.migrate and not self.recovery:
+            raise ChaosExecutionError(
+                "migrate=True requires recovery=True (zero-loss "
+                "migration rides the recovery ordering stage)"
+            )
         self.primary = self.build(fast_path=True)
         self.shadow = self.build(fast_path=False) if self.check_fast_path else None
         self._crashed: Dict[int, str] = {}
@@ -147,6 +173,10 @@ class VirtualNetwork:
                 attach_reliability(self.shadow, self.state.params)
             for node in self.primary.tree.nodes:
                 self.state.detector.register(node, 0.0)
+        if self.migrate:
+            self.load = attach_load_manager(self.primary, self.load_params)
+            if self.shadow is not None:
+                attach_load_manager(self.shadow, state=self.load)
 
     @property
     def systems(self) -> List[CosmosSystem]:
@@ -198,6 +228,8 @@ class VirtualNetwork:
             self._apply_fault(event)
         elif isinstance(event, PunctuationEvent):
             self._apply_punctuation(event, sim)
+        elif isinstance(event, MigrationEvent):
+            self._apply_migration(event, sim)
         else:  # pragma: no cover - schedule layer only emits the above
             raise ChaosExecutionError(f"unknown chaos event {event!r}")
 
@@ -393,6 +425,244 @@ class VirtualNetwork:
         self.last_recovery_time = now
         self.trace.record(
             f"abandon t={now:g} {stream} seq={gap} -> {released} released"
+        )
+
+    # -- adaptive load management ---------------------------------------------------
+
+    def _apply_migration(self, event: MigrationEvent, sim: EventSimulator) -> None:
+        """Execute one load-management probe.
+
+        ``scan`` feeds the hotspot detector a live-processor load
+        snapshot and plans one migration per newly hot processor;
+        ``rebalance`` unconditionally plans one off the busiest live
+        processor that hosts any group.  All decisions read the primary
+        only (the shared-brain pattern); mutations are applied to both
+        twins inside :meth:`_plan_migration`.
+        """
+        if self.load is None:
+            self.trace.record(f"{event.render()} -> inert")
+            return
+        loads = [
+            load
+            for load in SystemMonitor(self.primary).processor_loads()
+            if load.node_id not in self._crashed
+        ]
+        if event.kind == "scan":
+            hot = self.load.detector.observe(loads)
+            names = ",".join(f"n{node}" for node in hot) or "-"
+            self.trace.record(
+                f"{event.render()} -> {len(hot)} hotspots [{names}]"
+            )
+            self.load.counters.hotspots_detected += len(hot)
+            # Planning is deferred a tick: the probe only *decides*;
+            # the protocol actions run as their own simulator events.
+            for node in hot:
+                sim.schedule_in(
+                    0.0, lambda node=node: self._plan_migration(sim, node)
+                )
+            return
+        candidates = [load for load in loads if load.groups > 0]
+        if not candidates:
+            self.trace.record(f"{event.render()} -> idle")
+            return
+        candidates.sort(key=lambda load: (-load.merged_rate, load.node_id))
+        node = candidates[0].node_id
+        self.trace.record(f"{event.render()} -> node={node}")
+        sim.schedule_in(0.0, lambda: self._plan_migration(sim, node))
+
+    def _plan_migration(self, sim: EventSimulator, source_node: int) -> None:
+        """Quarantine the source's hottest group and start its move."""
+        processor = self.primary.processors.get(source_node)
+        if processor is None or source_node in self._crashed:
+            self.trace.record(
+                f"migrate_skip t={sim.now:g} node={source_node} reason=no-source"
+            )
+            return
+        groups = processor.manager.groups
+        if not groups:
+            self.trace.record(
+                f"migrate_skip t={sim.now:g} node={source_node} reason=no-group"
+            )
+            return
+        group = max(
+            groups, key=lambda g: (g.representative_rate, g.group_id)
+        )
+        key = f"{group.group_id}@n{source_node}"
+        if key in self.load.active:
+            self.trace.record(
+                f"migrate_skip t={sim.now:g} node={source_node} reason=in-flight"
+            )
+            return
+        exclude = set(self._crashed) | {source_node}
+        target = choose_target(self.primary, group, exclude)
+        if target is None:
+            self.trace.record(
+                f"migrate_skip t={sim.now:g} node={source_node} reason=no-target"
+            )
+            return
+        quarantined: List[List[str]] = []
+        for system in self.systems:
+            quarantined.append(
+                quarantine_for_migration(system, source_node, group.group_id)
+            )
+        if len({tuple(q) for q in quarantined}) > 1:
+            raise ChaosExecutionError(
+                f"twins diverged quarantining {key}: {quarantined}"
+            )
+        if not quarantined[0]:
+            # Every member already degraded (e.g. partition-owned):
+            # nothing was touched and there is nothing to move.
+            self.trace.record(
+                f"migrate_skip t={sim.now:g} node={source_node} reason=degraded"
+            )
+            return
+        migration = GroupMigration(
+            migration_id=f"m{self.load.counters.migrations_started}",
+            group_id=group.group_id,
+            source_node=source_node,
+            target_node=target,
+            members=list(quarantined[0]),
+        )
+        self.load.active[key] = migration
+        self.load.counters.migrations_started += 1
+        names = ",".join(migration.members) or "-"
+        self.trace.record(
+            f"migrate_start t={sim.now:g} group={migration.group_id} "
+            f"n{source_node}->n{target} quarantined [{names}]"
+        )
+        sim.schedule_in(
+            self.load.params.prepare_delay,
+            lambda: self._drain_migration(sim, migration.key),
+        )
+
+    def _drain_migration(self, sim: EventSimulator, key: str) -> None:
+        """Hand the group's state to the target over the channel."""
+        migration = self.load.active.get(key)
+        if migration is None:
+            return
+        if migration.source_node not in self.primary.processors:
+            # The crash-repair path already re-homed the group's members
+            # as fresh ACTIVE handles elsewhere; this move is obsolete.
+            self._abort_migration(sim, key, "superseded")
+            return
+        if migration.source_node in self._crashed:
+            self._abort_migration(sim, key, "source-lost")
+            return
+        chunks = capture_group_state(
+            self.primary, migration.source_node, migration.group_id
+        )
+        if not chunks:
+            self._abort_migration(sim, key, "superseded")
+            return
+        migration.channel = MigrationChannel(self.state.params)
+        for chunk in chunks:
+            migration.channel.send(chunk, sim.now)
+        migration.start_drain()
+        migration.chunks_sent = len(chunks)
+        self.load.counters.state_chunks_sent += len(chunks)
+        self.trace.record(
+            f"drain t={sim.now:g} group={migration.group_id} "
+            f"n{migration.source_node}->n{migration.target_node} "
+            f"chunks={len(chunks)}"
+        )
+        sim.schedule_in(
+            self.load.params.drain_delay,
+            lambda: self._cutover_migration(sim, key, attempt=1),
+        )
+
+    def _cutover_migration(
+        self, sim: EventSimulator, key: str, attempt: int
+    ) -> None:
+        """Close the channel gap-free and re-home the group, with
+        capped-backoff retries while the target is down."""
+        migration = self.load.active.get(key)
+        if migration is None:
+            return
+        if migration.source_node not in self.primary.processors:
+            self._abort_migration(sim, key, "superseded")
+            return
+        if migration.source_node in self._crashed:
+            self._abort_migration(sim, key, "source-lost")
+            return
+        target_live = (
+            migration.target_node in self.primary.processors
+            and migration.target_node not in self._crashed
+        )
+        if not target_live:
+            if attempt < self.load.params.max_migrate_attempts:
+                params = self.load.params
+                delay = min(
+                    params.migrate_backoff
+                    * (params.migrate_backoff_base ** (attempt - 1)),
+                    params.migrate_cap,
+                )
+                self.load.counters.migrations_retried += 1
+                self.trace.record(
+                    f"migrate_retry t={sim.now:g} group={migration.group_id} "
+                    f"target=n{migration.target_node} attempt={attempt + 1}"
+                )
+                sim.schedule_in(
+                    delay,
+                    lambda: self._cutover_migration(sim, key, attempt + 1),
+                )
+                return
+            self._abort_migration(sim, key, "target-lost")
+            return
+        gaps = migration.channel.close(sim.now) if migration.channel else [0]
+        if gaps:
+            # Unreachable with the in-process channel; kept as the
+            # protocol's defensive barrier (cutover only on a gap-free
+            # punctuation, exactly like PR 4's uplink close).
+            self._abort_migration(sim, key, "handoff-gaps")
+            return
+        migration.cut_over()
+        moved: List[List[str]] = []
+        for system in self.systems:
+            moved.append(cutover_group(system, migration))
+        if len({tuple(m) for m in moved}) > 1:
+            raise ChaosExecutionError(
+                f"twins diverged cutting over {key}: {moved}"
+            )
+        migration.complete()
+        self.load.active.pop(key, None)
+        self.load.counters.migrations_completed += 1
+        self.last_recovery_time = sim.now
+        names = ",".join(moved[0]) or "-"
+        self.trace.record(
+            f"cutover t={sim.now:g} group={migration.group_id} "
+            f"n{migration.source_node}->n{migration.target_node} "
+            f"moved [{names}]"
+        )
+
+    def _abort_migration(
+        self, sim: EventSimulator, key: str, reason: str
+    ) -> None:
+        """Abort back to the source (or drop a superseded move)."""
+        migration = self.load.active.get(key)
+        if migration is None:
+            return
+        migration.abort()
+        resumed: List[str] = []
+        if reason != "superseded":
+            outcomes: List[List[str]] = []
+            for system in self.systems:
+                outcomes.append(
+                    resume_after_migration(
+                        system, migration.source_node, migration.members
+                    )
+                )
+            if len({tuple(r) for r in outcomes}) > 1:
+                raise ChaosExecutionError(
+                    f"twins diverged aborting {key}: {outcomes}"
+                )
+            resumed = outcomes[0]
+        self.load.active.pop(key, None)
+        self.load.counters.migrations_aborted += 1
+        names = ",".join(resumed) or "-"
+        self.trace.record(
+            f"migrate_abort t={sim.now:g} group={migration.group_id} "
+            f"n{migration.source_node}->n{migration.target_node} "
+            f"{reason} resumed [{names}]"
         )
 
     # -- failure detection and repair ---------------------------------------------

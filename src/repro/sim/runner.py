@@ -50,6 +50,7 @@ from repro.sim.schedule import (
     ChaosSchedule,
     InjectEvent,
     LinkModel,
+    MigrationEvent,
     PunctuationEvent,
     merge_events,
     perturb_feed,
@@ -57,6 +58,7 @@ from repro.sim.schedule import (
 )
 from repro.sim.trace import ChaosTrace, shrink_schedule
 from repro.system.cosmos import CosmosSystem
+from repro.system.monitor import SystemMonitor
 
 
 def _chaos_schemas() -> Tuple[StreamSchema, StreamSchema]:
@@ -132,6 +134,20 @@ class ChaosConfig:
     #: in-band, crashes are detector-driven, and the oracle demands
     #: *exact* delivery of the pristine feed (zero tolerated losses).
     recovery: bool = False
+    #: Adaptive load management: seeded migration probes live-migrate
+    #: whole query groups between processors mid-run.  Requires
+    #: ``recovery`` — zero-loss migration rides the recovery executor's
+    #: ordering stage (all data publication happens after every
+    #: migration timer has resolved), so quarantine windows cannot eat
+    #: tuples.
+    migrate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.migrate and not self.recovery:
+            raise ValueError(
+                "migrate=True requires recovery=True: zero-loss live "
+                "migration needs the recovery executor's ordering stage"
+            )
 
     @property
     def epilogue_start(self) -> float:
@@ -299,6 +315,28 @@ def generate_schedule(config: ChaosConfig) -> ChaosSchedule:
             for stream in sorted(next_seq)
             if next_seq[stream] > 0
         ]
+    # Migration probes (a fresh named RNG child, so migrate=False
+    # schedules are byte-identical to pre-migration ones): one forced
+    # rebalance before the fault window opens — both processors are
+    # guaranteed up then, so every seed completes at least one live
+    # migration — plus seeded detector scans across the fault window,
+    # which compose migrations with crashes and exercise the
+    # retry/abort paths.
+    migrations: List[ChaosEvent] = []
+    if config.migrate:
+        mig_rng = config.rng("migrations")
+        migrations.append(
+            MigrationEvent(
+                mig_rng.uniform(0.08, 0.15) * config.duration, "rebalance"
+            )
+        )
+        for __ in range(2 + mig_rng.randrange(2)):
+            migrations.append(
+                MigrationEvent(
+                    mig_rng.uniform(0.2, 0.9) * config.duration, "scan"
+                )
+            )
+        migrations.sort(key=lambda e: e.time)
     # The epilogue is pristine by construction: after quiescence the
     # convergence oracle wants exact, loss-free traffic.  In recovery
     # mode it continues the per-stream numbering, so a gap left by a
@@ -325,7 +363,8 @@ def generate_schedule(config: ChaosConfig) -> ChaosSchedule:
             for time, stream, payload in epilogue_feed
         ]
     return ChaosSchedule(
-        config.seed, merge_events(main, faults, punctuation, epilogue)
+        config.seed,
+        merge_events(main, faults, migrations, punctuation, epilogue),
     )
 
 
@@ -343,6 +382,9 @@ class ChaosReport:
     convergence_time: Optional[float] = None
     #: Reliability counters snapshot (recovery mode only).
     reliability: Optional[Dict[str, int]] = None
+    #: Post-run :meth:`~repro.system.monitor.SystemMonitor.health`
+    #: snapshot of the primary (reliability + load-management block).
+    health: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -385,6 +427,7 @@ def run_schedule(
         build=lambda fast_path: build_system(config, fast_path=fast_path),
         check_fast_path=config.check_fast_path,
         recovery=config.recovery,
+        migrate=config.migrate,
     )
     main = [e for e in events if e.time < config.epilogue_start]
     epilogue = [e for e in events if e.time >= config.epilogue_start]
@@ -425,6 +468,7 @@ def run_schedule(
         reliability=(
             vnet.state.counters.as_dict() if vnet.state is not None else None
         ),
+        health=SystemMonitor(vnet.primary).health(),
     )
 
 

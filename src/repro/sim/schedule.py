@@ -105,7 +105,27 @@ class FaultEvent:
         return f"fail_{self.kind} t={self.time:g} node={self.node}"
 
 
-ChaosEvent = object  # InjectEvent | DropEvent | FaultEvent | PunctuationEvent
+@dataclass(frozen=True)
+class MigrationEvent:
+    """A load-management probe at ``time``.
+
+    ``kind`` is ``"scan"`` (feed the hotspot detector a load snapshot
+    and migrate whatever newly crossed the threshold) or
+    ``"rebalance"`` (unconditionally move the busiest live processor's
+    hottest group — the forced probe every migration-mode schedule
+    carries so each seed exercises at least one full live migration).
+    The probe only *triggers* the protocol; the migration's own timers
+    (prepare, drain, cutover, retries) are scheduled by the executor.
+    """
+
+    time: float
+    kind: str  # "scan" | "rebalance"
+
+    def render(self) -> str:
+        return f"migrate t={self.time:g} {self.kind}"
+
+
+ChaosEvent = object  # InjectEvent | DropEvent | FaultEvent | PunctuationEvent | MigrationEvent
 
 
 @dataclass

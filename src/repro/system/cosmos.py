@@ -154,6 +154,9 @@ class CosmosSystem:
         #: Reliability state (:func:`repro.system.reliability.attach_reliability`);
         #: ``None`` until a supervisor attaches one.
         self.reliability = None
+        #: Load-management state (:func:`repro.system.loadmgr.attach_load_manager`);
+        #: ``None`` until a load manager attaches one.
+        self.load = None
 
     def _make_processor(self, node: NodeId) -> Processor:
         threshold = 0.0 if self.merging else float("inf")
@@ -232,20 +235,9 @@ class CosmosSystem:
         self._queries[query_id] = handle
         # The group's representative may have changed: refresh the result
         # subscription of every member of the group.
-        for member_name, profile in submission.updated_profiles.items():
-            member = self._queries.get(member_name)
-            if member is None:
-                continue
-            old = self._user_subscriptions.pop(member_name, None)
-            if old is not None:
-                self.network.unsubscribe(old)
-            sub_id = self.network.subscribe(
-                profile,
-                member.user_node,
-                subscription_id=f"user:{member_name}:v{next(self._sub_version)}",
-            )
-            self._user_subscriptions[member_name] = sub_id
-            member.result_stream = submission.result_stream
+        self._refresh_result_subscriptions(
+            submission.updated_profiles, submission.result_stream
+        )
         return handle
 
     def withdraw(self, query_id: str) -> None:
@@ -262,21 +254,38 @@ class CosmosSystem:
         # The representative narrowed: refresh every surviving member's
         # result subscription (the old profiles may reference attributes
         # the new representative no longer outputs).
-        for member_name, profile in processor.manager.result_profiles_of(
-            group
-        ).items():
+        self._refresh_result_subscriptions(
+            processor.manager.result_profiles_of(group)
+        )
+
+    def _refresh_result_subscriptions(
+        self,
+        profiles: Dict[str, "object"],
+        result_stream: Optional[str] = None,
+    ) -> None:
+        """Replace the result subscription of each member in ``profiles``.
+
+        Shared by submission, withdrawal and live migration — whenever a
+        group's representative changes, every member's subscription must
+        be recomposed against it.  Members without a handle (standalone
+        manager usage) are skipped; ``result_stream``, when given, is
+        stamped on each refreshed handle.
+        """
+        for member_name, profile in profiles.items():
             member = self._queries.get(member_name)
             if member is None:
                 continue
             old = self._user_subscriptions.pop(member_name, None)
             if old is not None:
                 self.network.unsubscribe(old)
-            new_sub = self.network.subscribe(
+            sub_id = self.network.subscribe(
                 profile,
                 member.user_node,
                 subscription_id=f"user:{member_name}:v{next(self._sub_version)}",
             )
-            self._user_subscriptions[member_name] = new_sub
+            self._user_subscriptions[member_name] = sub_id
+            if result_stream is not None:
+                member.result_stream = result_stream
 
     def query(self, query_id: str) -> SubmittedQuery:
         try:

@@ -5,7 +5,7 @@ load management service"*.  The paper leaves the policy open; this
 module provides the natural family:
 
 * :class:`RoundRobinDistribution` — cycle through processors;
-* :class:`LeastLoadedDistribution` — fewest registered queries wins;
+* :class:`LeastLoadedDistribution` — fewest resident merged groups wins;
 * :class:`ProximityDistribution` — smallest tree distance to the user;
 * :class:`StreamAffinityDistribution` — hash of the query's stream set,
   so queries over the same streams land on the same processor, which
@@ -70,7 +70,15 @@ class RoundRobinDistribution(QueryDistribution):
 
 
 class LeastLoadedDistribution(QueryDistribution):
-    """Fewest queries currently registered (ties broken by node id)."""
+    """Fewest merged groups currently resident (ties broken by node id).
+
+    Groups, not raw queries, are the unit of processor work: ten
+    queries merged into one group evaluate one representative, so
+    counting them as ten would steer new load away from a processor
+    that is in fact nearly idle.  This mirrors the load manager's view
+    (:mod:`repro.system.loadmgr` migrates whole groups for the same
+    reason).
+    """
 
     def choose(
         self,
@@ -79,7 +87,7 @@ class LeastLoadedDistribution(QueryDistribution):
         processors: Sequence[Processor],
     ) -> Processor:
         self._require(processors)
-        return min(processors, key=lambda p: (p.query_count, p.node_id))
+        return min(processors, key=lambda p: (p.group_count, p.node_id))
 
 
 class ProximityDistribution(QueryDistribution):

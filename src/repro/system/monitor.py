@@ -95,12 +95,14 @@ class SystemMonitor:
     # -- reliability ---------------------------------------------------------------
 
     def health(self) -> Dict[str, object]:
-        """Reliability-layer health: transport activity and suspicion.
+        """Reliability- and load-layer health in one flat mapping.
 
         Counter values come from the attached
-        :class:`~repro.system.reliability.ReliabilityState`; without
-        one, every counter reads zero and the node/query lists are
-        empty (an unmonitored system is trivially healthy).
+        :class:`~repro.system.reliability.ReliabilityState` and
+        :class:`~repro.system.loadmgr.LoadState`; without one, the
+        corresponding counters read zero and the node/query lists are
+        empty (an unmonitored system is trivially healthy).  The key
+        set is stable either way, so sweeps can aggregate blindly.
         """
         state = self._system.reliability
         if state is None:
@@ -121,6 +123,17 @@ class SystemMonitor:
             for handle in self._system.queries
             if handle.status.name == "DEGRADED"
         )
+        load = self._system.load
+        if load is None:
+            from repro.system.loadmgr import LoadCounters
+
+            out.update(LoadCounters().as_dict())
+            out["hot_processors"] = []
+            out["migrations_in_flight"] = 0
+        else:
+            out.update(load.counters.as_dict())
+            out["hot_processors"] = load.detector.hot
+            out["migrations_in_flight"] = len(load.active)
         return out
 
     # -- reporting -------------------------------------------------------------------

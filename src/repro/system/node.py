@@ -87,6 +87,12 @@ class Processor:
     def query_count(self) -> int:
         return self.manager.grouping.query_count
 
+    @property
+    def group_count(self) -> int:
+        """Merged query groups on this processor — the load-management
+        layer's unit of placement and migration."""
+        return self.manager.grouping.group_count
+
     # -- query layer ---------------------------------------------------------------
 
     def accept(self, query: ContinuousQuery, name: Optional[str] = None) -> Submission:
@@ -142,6 +148,23 @@ class Processor:
         )
         self._replace_source_subscription(group.group_id, profile)
         return group
+
+    def release_group(self, group_id: str) -> List[ContinuousQuery]:
+        """Tear a whole group off this processor for live migration.
+
+        The manager deregisters the representative from the SPE and
+        hands back the intact member list; the group's CBN source
+        subscription is withdrawn (the target installs its own when it
+        re-accepts the members).  The result-stream advertisement is
+        left in place — advertisements are idempotent registrations and
+        the stream simply goes quiet with no publisher behind it.
+        """
+        members = self.manager.release_group(group_id)
+        if self.network is not None:
+            sub_id = self._source_subscriptions.pop(group_id, None)
+            if sub_id is not None:
+                self.network.unsubscribe(sub_id)
+        return members
 
     def _subscribe_sources(self, submission: Submission) -> None:
         self._replace_source_subscription(

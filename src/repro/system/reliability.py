@@ -32,6 +32,12 @@ deterministically over the :class:`~repro.system.events.EventSimulator`:
 :func:`attach_reliability` hangs a shared :class:`ReliabilityState` on
 a :class:`~repro.system.cosmos.CosmosSystem`, where
 :class:`~repro.system.monitor.SystemMonitor.health` picks it up.
+
+The adaptive load manager (:mod:`repro.system.loadmgr`) builds on this
+layer: live group migration reuses the sequenced uplink as its state
+handoff channel (the gap-free close punctuation is the cutover
+barrier) and the same ``DEGRADED`` quarantine to freeze members while
+they move.
 """
 
 from __future__ import annotations
@@ -147,7 +153,6 @@ class SequencedUplink:
     def next_seq(self) -> int:
         return self._next
 
-    # cos: disable=COS802 (sender-facing API: chaos schedules pre-stamp via record(), tests exercise stamp directly)
     def stamp(self, payload: Dict[str, object], sent: float) -> int:
         """Assign the next sequence number to ``payload`` and retain it."""
         seq = self._next
@@ -239,6 +244,17 @@ class UplinkReceiver:
             and seq not in self._buffer
             and seq not in self._abandoned
         )
+
+    @property
+    def open_gaps(self) -> List[int]:
+        """Every detected-but-unresolved gap, sorted.
+
+        Unlike the *fresh* gaps :meth:`offer` and :meth:`announce`
+        report (each gap exactly once, for NACK scheduling), this is
+        the full outstanding set — what a barrier that must certify
+        gap-free delivery (the migration cutover) has to inspect.
+        """
+        return sorted(self._known_gaps)
 
     def missing(self) -> List[int]:
         """Every outstanding gap below the highest buffered arrival."""

@@ -139,18 +139,37 @@ class TestCanaries:
         assert "REBUILDING" in report.render()
         assert check_modules(mutated).has("COS812")
 
-    def test_removing_the_heal_path_fires_cos813(self, modules):
-        """Without heal_partition's status assignment, DEGRADED becomes
-        a trap state the model forbids."""
+    def test_removing_every_heal_path_fires_cos813(self, modules):
+        """With both DEGRADED->ACTIVE assignments gone (partition heal
+        and migration resume), DEGRADED becomes a trap state the model
+        forbids."""
         mutated = mutate(
             modules,
             "system/reliability.py",
             "        handle.status = QueryStatus.ACTIVE\n",
             "",
         )
+        mutated = mutate(
+            mutated,
+            "system/loadmgr.py",
+            "        handle.status = QueryStatus.ACTIVE\n",
+            "",
+        )
         report = check_lifecycle(mutated)
         assert report.codes() == ["COS813"]
         assert "DEGRADED" in report.render()
+
+    def test_one_surviving_heal_path_keeps_degraded_exitable(self, modules):
+        """The migration resume path alone still exits DEGRADED, so
+        deleting only heal_partition's assignment stays clean — the two
+        layers genuinely back each other up."""
+        mutated = mutate(
+            modules,
+            "system/reliability.py",
+            "        handle.status = QueryStatus.ACTIVE\n",
+            "",
+        )
+        assert check_lifecycle(mutated).is_clean
 
     def test_missing_spec_anchor_fires_cos812(self, modules):
         """Renaming the suspicion mutation breaks the anchored

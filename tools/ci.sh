@@ -39,4 +39,22 @@ PYTHONPATH=src python -m repro chaos --seeds 25 --json BENCH_chaos.json
 echo "== chaos recovery smoke (self-healing, exact delivery + conformance oracles) =="
 PYTHONPATH=src python -m repro chaos --seeds 25 --recovery --conform --json BENCH_chaos_recovery.json
 
+echo "== chaos migration smoke (live group migration under faults, zero-loss) =="
+PYTHONPATH=src python -m repro chaos --seeds 25 --recovery --migrate --conform --json BENCH_chaos_migration.json
+python - <<'EOF'
+import json
+payload = json.load(open("BENCH_chaos_migration.json"))
+assert payload["ok"], "migration sweep failed"
+for record in payload["seeds"]:
+    seed = record["seed"]
+    assert record["ok"], f"seed {seed}: oracle violations {record['violations']}"
+    assert not record["conformance_violations"], (
+        f"seed {seed}: conformance violations {record['conformance_violations']}"
+    )
+    completed = record["health"]["migrations_completed"]
+    assert completed >= 1, f"seed {seed}: no live migration completed"
+total = payload["totals"]["migrations_completed"]
+print(f"migration sweep: {total} live migrations, zero loss, zero violations")
+EOF
+
 echo "== ci: all gates passed =="
