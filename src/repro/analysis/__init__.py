@@ -32,6 +32,12 @@ workload (``repro check --self``):
   as a dynamic oracle: :mod:`repro.analysis.conformance` replays chaos
   traces against them (``repro chaos --conform``), and ``repro flow``
   dumps the model as JSON/DOT.
+* ``COS9xx`` — bounded model checking: the extracted machines composed
+  with an explicit environment automaton into a product automaton and
+  exhaustively explored (:mod:`repro.analysis.model`: tuple loss after
+  the close barrier, deadlock, livelock, cross-machine invariants),
+  plus chaos-corpus coverage of the model's reachable transitions
+  (:mod:`repro.analysis.modelcov`, ``repro model --coverage``).
 
 The driver (:mod:`repro.analysis.selfcheck`) unifies them behind
 pragmas (``# cos: disable=...``), a checked-in baseline, and the
@@ -58,7 +64,7 @@ from repro.analysis.diagnostics import (
     Report,
     Severity,
 )
-from repro.analysis.conformance import conformance_violations
+from repro.analysis.conformance import conformance_violations, transition_key
 from repro.analysis.flowgraph import (
     FlowGraph,
     MessageKind,
@@ -72,6 +78,24 @@ from repro.analysis.lifecycle import (
     Transition,
     check_lifecycle,
     extract_lifecycle,
+)
+from repro.analysis.model import (
+    Exploration,
+    ProductModel,
+    build_product,
+    check_model,
+    explore,
+    model_summary,
+    product_dot,
+)
+from repro.analysis.modelcov import (
+    SILENT_LABELS,
+    MachineCoverage,
+    check_coverage,
+    coverage,
+    default_coverage_baseline,
+    load_corpus,
+    summarize,
 )
 from repro.analysis.overlay import (
     check_network,
@@ -116,8 +140,10 @@ __all__ = [
     "SourceError",
     "SourceModule",
     "apply_pragmas",
+    "check_coverage",
     "check_flowgraph",
     "check_lifecycle",
+    "check_model",
     "check_modules",
     "check_package",
     "check_protocol",
@@ -127,13 +153,22 @@ __all__ = [
     "collect_enums",
     "collect_set_returning",
     "conformance_violations",
+    "coverage",
+    "build_product",
+    "explore",
     "extract_flowgraph",
     "extract_lifecycle",
     "default_baseline_path",
+    "default_coverage_baseline",
     "default_package_dir",
+    "load_corpus",
     "load_package",
     "load_source",
+    "model_summary",
     "module_from_text",
+    "product_dot",
+    "summarize",
+    "transition_key",
     "parse_code_spec",
     "spec_matches",
     "BUILTIN_WORKLOADS",
@@ -141,9 +176,13 @@ __all__ = [
     "ConstraintSystem",
     "Diagnostic",
     "DiagnosticError",
+    "Exploration",
     "FlowGraph",
+    "MachineCoverage",
     "MachineSpec",
     "MessageKind",
+    "ProductModel",
+    "SILENT_LABELS",
     "Report",
     "Severity",
     "StateMachine",

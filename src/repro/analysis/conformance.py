@@ -30,9 +30,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.analysis.lifecycle import StateMachine
 
 #: Labels that are internal receiver steps, closed over before every
-#: observed transition (per machine).
+#: observed transition (per machine).  The failure detector's
+#: ``register`` is likewise invisible: traces record suspicions and
+#: repairs, never the registration that precedes them.
 EPSILON_LABELS: Dict[str, Tuple[str, ...]] = {
     "uplink-receiver": ("gap_detect", "release"),
+    "failure-detector": ("register",),
 }
 
 _INJECT = re.compile(
@@ -98,13 +101,39 @@ def _listed(names: str) -> List[str]:
     return [] if names in ("", "-") else names.split(",")
 
 
-class _Walker:
-    """NFA walk of one machine, one possible-state set per entity."""
+def transition_key(label: str, source: str, target: str) -> str:
+    """The stable ``"label source->target"`` key used for transition
+    counts (``repro chaos --json``) and model coverage (COS905)."""
+    return f"{label} {source}->{target}"
 
-    def __init__(self, machine: StateMachine) -> None:
+
+class _Walker:
+    """NFA walk of one machine, one possible-state set per entity.
+
+    ``collector`` — when given — accumulates exercised-transition
+    counts per machine (``machine -> {"label src->tgt": n}``) under
+    *witness* semantics: an edge counts as exercised when some
+    model-consistent replay of the trace uses it (every label-matching
+    edge out of the possible-state set, plus the ε edges its closure
+    traverses).
+    """
+
+    def __init__(
+        self,
+        machine: StateMachine,
+        collector: Optional[Dict[str, Dict[str, int]]] = None,
+    ) -> None:
         self.machine = machine
         self.epsilon = EPSILON_LABELS.get(machine.name, ())
+        self.collector = collector
         self._possible: Dict[str, Set[str]] = {}
+
+    def _count(self, label: str, source: str, target: str) -> None:
+        if self.collector is None:
+            return
+        bucket = self.collector.setdefault(self.machine.name, {})
+        key = transition_key(label, source, target)
+        bucket[key] = bucket.get(key, 0) + 1
 
     def _closure(self, states: Set[str]) -> Set[str]:
         seen = set(states)
@@ -117,6 +146,7 @@ class _Walker:
                     and t.source == state
                     and t.target not in seen
                 ):
+                    self._count(t.label, t.source, t.target)
                     seen.add(t.target)
                     frontier.append(t.target)
         return seen
@@ -128,11 +158,11 @@ class _Walker:
         if possible is None:
             possible = set(self.machine.initial)
         closure = self._closure(possible)
-        nxt = {
-            t.target
-            for t in self.machine.transitions
-            if t.label == label and t.source in closure
-        }
+        nxt = set()
+        for t in self.machine.transitions:
+            if t.label == label and t.source in closure:
+                self._count(t.label, t.source, t.target)
+                nxt.add(t.target)
         if not nxt:
             return (
                 f"machine {self.machine.name}: entity {entity} observed "
@@ -156,6 +186,7 @@ def conformance_violations(
     reliability: Optional[Mapping[str, int]] = None,
     recovery: bool = False,
     load: Optional[Mapping[str, int]] = None,
+    transitions: Optional[Dict[str, Dict[str, int]]] = None,
 ) -> List[str]:
     """Every way the observed run disagrees with the extracted model.
 
@@ -164,11 +195,18 @@ def conformance_violations(
     had ``recovery`` on; ``load`` the load-management counters snapshot
     (every check there is exact — the migration protocol has no silent
     paths).  Returns an empty list when the run conforms.
+
+    ``transitions`` — when a dict is passed — is filled with the
+    exercised-transition counts of every walker, keyed machine name ->
+    ``"label src->tgt"`` -> count (witness semantics; see
+    :class:`_Walker`).  ``repro chaos --json`` surfaces these per seed
+    and the COS905 coverage pass aggregates them against the model.
     """
     violations: List[str] = []
-    uplink = _Walker(_machine(machines, "uplink-receiver"))
-    nodes = _Walker(_machine(machines, "node-supervision"))
-    status = _Walker(_machine(machines, "QueryStatus"))
+    uplink = _Walker(_machine(machines, "uplink-receiver"), transitions)
+    nodes = _Walker(_machine(machines, "node-supervision"), transitions)
+    status = _Walker(_machine(machines, "QueryStatus"), transitions)
+    detector = _Walker(_machine(machines, "failure-detector"), transitions)
     #: Built on the first migration record, so machine sets that predate
     #: the load manager still replay migration-free traces.
     migrations: Optional[_Walker] = None
@@ -202,7 +240,9 @@ def conformance_violations(
     def migration_walker() -> _Walker:
         nonlocal migrations
         if migrations is None:
-            migrations = _Walker(_machine(machines, "MigrationState"))
+            migrations = _Walker(
+                _machine(machines, "MigrationState"), transitions
+            )
         return migrations
 
     for line in trace_lines:
@@ -274,6 +314,10 @@ def conformance_violations(
         if m is not None:
             counts["suspect"] += 1
             walk(nodes, m.group("node"), "suspect")
+            # The failure detector's view of the same event: the lease
+            # expired on a node it was monitoring (registration is an
+            # ε-step — traces never record it).
+            walk(detector, m.group("node"), "suspect")
             continue
         m = _REPAIR.match(line)
         if m is not None:
@@ -292,6 +336,10 @@ def conformance_violations(
                 walk(nodes, m.group("node"), "repair_retry")
             else:
                 walk(nodes, m.group("node"), "gave_up")
+            if not outcome.startswith("retry"):
+                # Every terminal repair outcome removes the node, and
+                # removal deregisters it from the failure detector.
+                walk(detector, m.group("node"), "deregister")
             continue
         m = _MIGRATE_PROBE.match(line)
         if m is not None:

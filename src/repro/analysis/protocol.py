@@ -137,6 +137,27 @@ def _enum_tests(
                 return node.value.id, node.attr
         return None
 
+    def _membership_elements(node: ast.AST) -> Optional[List[ast.AST]]:
+        """Literal elements of a membership RHS, or ``None``.
+
+        Accepts bare literals (``in (A, B)``) and single-argument
+        constructor wrappers over them (``in frozenset((A, B))``),
+        which read identically at runtime but used to defeat guard
+        narrowing.
+        """
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return list(node.elts)
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("frozenset", "set", "tuple", "list")
+            and not node.keywords
+            and len(node.args) == 1
+            and isinstance(node.args[0], (ast.Tuple, ast.List, ast.Set))
+        ):
+            return list(node.args[0].elts)
+        return None
+
     if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
         subject = enum = None
         members: Set[str] = set()
@@ -167,12 +188,11 @@ def _enum_tests(
                     return None
                 return subject, decoded[0], {decoded[1]}, negative
         return None
-    if isinstance(op, (ast.In, ast.NotIn)) and isinstance(
-        right, (ast.Tuple, ast.List, ast.Set)
-    ):
+    elements = _membership_elements(right)
+    if isinstance(op, (ast.In, ast.NotIn)) and elements is not None:
         members = set()
         enum = None
-        for element in right.elts:
+        for element in elements:
             decoded = member_of(element)
             if decoded is None:
                 return None

@@ -3,9 +3,11 @@
 Runs the source families over a package directory — COS5xx determinism
 (:mod:`repro.analysis.purity`), COS6xx protocol contracts
 (:mod:`repro.analysis.protocol`), COS7xx style
-(:mod:`repro.analysis.style`), and the package-level COS8xx protocol
+(:mod:`repro.analysis.style`), the package-level COS8xx protocol
 models (:mod:`repro.analysis.flowgraph` message flow,
-:mod:`repro.analysis.lifecycle` state machines) — through one pipeline:
+:mod:`repro.analysis.lifecycle` state machines), and the COS90x
+bounded model check of their composition
+(:mod:`repro.analysis.model`) — through one pipeline:
 
 1. load every module in sorted-path order (deterministic output);
 2. collect package-wide facts (enum tables for the dispatch check,
@@ -34,7 +36,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import Report
 from repro.analysis.flowgraph import check_flowgraph
-from repro.analysis.lifecycle import check_lifecycle
+from repro.analysis.lifecycle import check_lifecycle, extract_lifecycle
+from repro.analysis.model import build_product, check_model
 from repro.analysis.protocol import (
     DEFAULT_CALLBACK_MODULES,
     check_protocol,
@@ -52,7 +55,7 @@ from repro.analysis.source import (
 from repro.analysis.style import check_style
 
 #: Analyzer pass list, in execution order (the ``--json`` contract).
-PASSES = ("purity", "protocol", "style", "flowgraph", "lifecycle")
+PASSES = ("purity", "protocol", "style", "flowgraph", "lifecycle", "model")
 
 
 def _clock() -> float:
@@ -152,7 +155,16 @@ def check_modules(
     mark = _clock()
     lifecycle = check_lifecycle(modules)
     spent["lifecycle"] = _clock() - mark
-    for package_report in (flow, lifecycle):
+    mark = _clock()
+    # Bounded model check of the composed machines (COS90x).  Spec
+    # anchor failures are already COS812 in the lifecycle pass, so the
+    # re-extraction here runs without a report.
+    machines = extract_lifecycle(modules)
+    model_report, _exploration = check_model(
+        build_product(machines, modules)
+    )
+    spent["model"] = _clock() - mark
+    for package_report in (flow, lifecycle, model_report):
         if respect_pragmas:
             package_report = _apply_package_pragmas(package_report, modules)
         combined.extend(package_report)

@@ -130,6 +130,61 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the state machines as Graphviz DOT digraphs",
     )
+
+    mo = sub.add_parser(
+        "model",
+        help="bounded model check of the composed protocol machines "
+        "(COS901-904) and, with --coverage, chaos-corpus transition "
+        "coverage (COS905)",
+    )
+    mo.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the BFS exploration radius (default: exhaust; "
+        "liveness checks are skipped on truncated runs)",
+    )
+    mofmt = mo.add_mutually_exclusive_group()
+    mofmt.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the model summary, findings and coverage as JSON "
+        "(the BENCH_modelcov.json contract)",
+    )
+    mofmt.add_argument(
+        "--dot",
+        action="store_true",
+        help="print the reachable product subgraph as Graphviz DOT "
+        "(combine with --depth for a readable rendering)",
+    )
+    mo.add_argument(
+        "--coverage",
+        metavar="PATH",
+        nargs="+",
+        default=None,
+        help="chaos --conform --json artifact(s) or directories of "
+        "them; flags model transitions the corpus never exercised "
+        "(COS905)",
+    )
+    mo.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="coverage baseline ledger "
+        "(default: tools/modelcov-baseline.txt when present)",
+    )
+    mo.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any coverage baseline file",
+    )
+    mo.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings (un-baselined COS905) as failures (exit 1)",
+    )
     return parser
 
 
@@ -330,6 +385,114 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_model(args: argparse.Namespace) -> int:
+    """``repro model``: COS90x bounded model checking + coverage.
+
+    Composes the extracted lifecycle machines with the environment
+    automaton, explores the product exhaustively (or to ``--depth``),
+    and reports COS901-904.  With ``--coverage`` the aggregated
+    ``conformance_transitions`` of the given chaos artifacts are
+    mapped onto the model and never-exercised transitions become
+    COS905 warnings, minus the coverage baseline ledger.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.analysis.lifecycle import extract_lifecycle
+    from repro.analysis.model import (
+        build_product,
+        check_model,
+        model_summary,
+        product_dot,
+    )
+    from repro.analysis.modelcov import (
+        check_coverage,
+        coverage,
+        default_coverage_baseline,
+        load_corpus,
+        summarize,
+    )
+    from repro.analysis.selfcheck import default_package_dir
+    from repro.analysis.source import Baseline, SourceError, load_package
+
+    try:
+        modules = load_package(default_package_dir())
+    except SourceError as exc:
+        print(f"repro model: {exc}", file=sys.stderr)
+        return 2
+    machines = extract_lifecycle(modules)
+    model = build_product(machines, modules)
+    report, exploration = check_model(model, depth=args.depth)
+
+    if args.dot:
+        print(product_dot(model, exploration))
+        return 0
+
+    forgiven = 0
+    coverage_payload = None
+    if args.coverage:
+        corpus = load_corpus([Path(p) for p in args.coverage])
+        results = coverage(model, exploration, corpus)
+        coverage_report = check_coverage(results, corpus)
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else default_coverage_baseline()
+        )
+        if not args.no_baseline and baseline_path.is_file():
+            baseline = Baseline.load(baseline_path)
+            coverage_report, forgiven, stale = baseline.audit(
+                coverage_report
+            )
+            for rel, code, leftover in stale:
+                coverage_report.add(
+                    "COS704",
+                    f"baseline allows {leftover} more {code} finding(s) "
+                    f"in {rel} than the corpus still misses — remove "
+                    "the entry (or lower its count)",
+                    rel,
+                    None,
+                )
+        report.extend(coverage_report)
+        coverage_payload = summarize(results, corpus, forgiven)
+
+    if args.as_json:
+        payload = {"model": model_summary(model, exploration)}
+        payload.update(report.to_dict())
+        payload["forgiven"] = forgiven
+        if coverage_payload is not None:
+            payload["coverage"] = coverage_payload
+        print(json.dumps(payload, indent=2))
+        return report.exit_code(args.strict)
+
+    summary = model_summary(model, exploration)
+    print(
+        f"product: {summary['states']} state(s), {summary['edges']} "
+        f"edge(s), max depth {summary['max_depth']}, "
+        + ("exhausted" if summary["exhausted"] else "TRUNCATED")
+    )
+    if model.uncertified:
+        for action, anchor in model.uncertified:
+            print(
+                f"uncertified: {action} guard dropped — {anchor.func}() "
+                f"in {anchor.module} lost {anchor.needle!r}"
+            )
+    if coverage_payload is not None:
+        print(
+            f"coverage: {coverage_payload['transitions_exercised']}/"
+            f"{coverage_payload['transitions_total']} model "
+            f"transition(s) exercised by {coverage_payload['seeds']} "
+            f"conforming seed(s) "
+            f"(raw {coverage_payload['coverage_raw']:.0%}, gated "
+            f"{coverage_payload['coverage_gated']:.0%} after "
+            f"{forgiven} baselined)"
+        )
+    print(report.render())
+    if forgiven:
+        print(f"{forgiven} baselined finding(s) suppressed")
+    return report.exit_code(args.strict)
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """The ``repro chaos`` subcommand.
 
@@ -399,14 +562,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             record["convergence_time"] = report.convergence_time
             record["reliability"] = report.reliability
         if machines is not None:
+            transitions: dict = {}
             conform = conformance_violations(
                 report.trace.render().splitlines(),
                 machines,
                 report.reliability,
                 args.recovery,
                 load=report.health,
+                transitions=transitions,
             )
             record["conformance_violations"] = conform
+            record["conformance_transitions"] = {
+                machine: dict(sorted(bucket.items()))
+                for machine, bucket in sorted(transitions.items())
+            }
             if conform:
                 failed = True
                 print(f"seed {seed}: {len(conform)} conformance violation(s)")
@@ -520,6 +689,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "flow":
         return _cmd_flow(args)
+    if args.command == "model":
+        return _cmd_model(args)
     return 2
 
 

@@ -635,6 +635,9 @@ def heal_partition(system: CosmosSystem) -> List[str]:
         if handle is None:  # withdrawn while degraded
             del state.quarantined[query_id]
             continue
+        if handle.status is not QueryStatus.DEGRADED:
+            del state.quarantined[query_id]  # stale entry: resumed elsewhere
+            continue
         if handle.user_node not in main:
             continue
         processor = system.processors[handle.processor_node]

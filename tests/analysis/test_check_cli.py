@@ -44,7 +44,8 @@ class TestSelfModeOnPackage:
         analyzer = payload["analyzer"]
         names = [entry["name"] for entry in analyzer["passes"]]
         assert names == [
-            "load", "purity", "protocol", "style", "flowgraph", "lifecycle"
+            "load", "purity", "protocol", "style", "flowgraph",
+            "lifecycle", "model",
         ]
         assert all(entry["seconds"] >= 0 for entry in analyzer["passes"])
         assert analyzer["wall_seconds"] == pytest.approx(

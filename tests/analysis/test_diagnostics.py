@@ -32,6 +32,7 @@ class TestDiagnostic:
         families = {code[:4] for code in CODES}
         assert families == {
             "COS1", "COS2", "COS3", "COS4", "COS5", "COS6", "COS7", "COS8",
+            "COS9",
         }
 
 

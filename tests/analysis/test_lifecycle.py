@@ -118,6 +118,52 @@ class TestGuardNarrowing:
             Transition("flip", "A", "B"),
         }
 
+    def test_membership_guard_narrows(self):
+        module = module_from_text(
+            "from __future__ import annotations\n"
+            "import enum\n"
+            "class Phase(enum.Enum):\n"
+            "    A = 'a'\n"
+            "    B = 'b'\n"
+            "    C = 'c'\n"
+            "class Holder:\n"
+            "    phase: Phase = Phase.A\n"
+            "def promote(h):\n"
+            "    if h.phase not in (Phase.A, Phase.B):\n"
+            "        return\n"
+            "    h.phase = Phase.C\n",
+            "pkg/phases.py",
+        )
+        (machine,) = extract_lifecycle([module], specs=())
+        assert set(machine.transitions) == {
+            Transition("promote", "A", "C"),
+            Transition("promote", "B", "C"),
+        }
+
+    def test_frozenset_membership_guard_narrows(self):
+        # `in frozenset((...))` reads identically to the bare-tuple
+        # form at runtime; the extractor must narrow it the same way
+        # instead of over-approximating to every state.
+        module = module_from_text(
+            "from __future__ import annotations\n"
+            "import enum\n"
+            "class Phase(enum.Enum):\n"
+            "    A = 'a'\n"
+            "    B = 'b'\n"
+            "    C = 'c'\n"
+            "class Holder:\n"
+            "    phase: Phase = Phase.A\n"
+            "def demote(h):\n"
+            "    if h.phase in frozenset((Phase.B, Phase.C)):\n"
+            "        h.phase = Phase.A\n",
+            "pkg/phases.py",
+        )
+        (machine,) = extract_lifecycle([module], specs=())
+        assert set(machine.transitions) == {
+            Transition("demote", "B", "A"),
+            Transition("demote", "C", "A"),
+        }
+
 
 class TestPristine:
     def test_package_lifecycle_is_clean(self, modules):

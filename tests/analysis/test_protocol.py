@@ -96,6 +96,17 @@ class TestEnumDispatch:
         )
         assert _codes(text) == []
 
+    def test_membership_frozenset_counts_as_coverage(self):
+        text = _STATUS_ENUM + (
+            "def handle(self, status):\n"
+            "    if status in frozenset((QueryStatus.ACTIVE, "
+            "QueryStatus.DEGRADED)):\n"
+            "        return 1\n"
+            "    elif status is QueryStatus.QUARANTINED:\n"
+            "        return 2\n"
+        )
+        assert _codes(text) == []
+
     def test_or_branches_count_as_coverage(self):
         text = _STATUS_ENUM + (
             "def handle(self, status):\n"

@@ -52,6 +52,32 @@ class TestChaosCli:
         assert payload["seeds"][0]["reliability"]["retransmits"] >= 0
         assert "convergence_time" in payload["seeds"][0]
 
+    def test_conform_sweep_records_transition_counts(self, capsys, tmp_path):
+        artifact = tmp_path / "conform.json"
+        assert main(
+            [
+                "chaos",
+                "--seeds",
+                "2",
+                "--recovery",
+                "--conform",
+                "--json",
+                str(artifact),
+            ]
+        ) == 0
+        import json
+
+        payload = json.loads(artifact.read_text())
+        for record in payload["seeds"]:
+            assert record["conformance_violations"] == []
+            transitions = record["conformance_transitions"]
+            assert "uplink-receiver" in transitions
+            for bucket in transitions.values():
+                for key, count in bucket.items():
+                    label, _, arrow = key.partition(" ")
+                    assert label and "->" in arrow
+                    assert count >= 1
+
     def test_sweep_exits_nonzero_when_any_seed_fails(
         self, capsys, monkeypatch
     ):
@@ -71,3 +97,120 @@ class TestChaosCli:
         assert main(["chaos", "--seeds", "2", "--no-shrink"]) == 1
         out = capsys.readouterr().out
         assert "violations=1" in out
+
+
+class TestModelCli:
+    def test_text_mode_clean(self, capsys):
+        assert main(["model"]) == 0
+        out = capsys.readouterr().out
+        assert "exhausted" in out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_json_payload_shape(self, capsys):
+        assert main(["model", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        model = payload["model"]
+        assert model["exhausted"] is True
+        assert model["dropped_rules"] == []
+        assert model["uncertified"] == []
+        assert {c["name"] for c in model["components"]} == {
+            "slot", "channel", "detector", "node", "query", "migration"
+        }
+
+    def test_dot_mode(self, capsys):
+        assert main(["model", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph product {")
+
+    def test_depth_bound(self, capsys):
+        assert main(["model", "--depth", "2"]) == 0
+        assert "TRUNCATED" in capsys.readouterr().out
+
+    def test_coverage_over_fresh_artifact(self, capsys, tmp_path):
+        artifact = tmp_path / "sweep.json"
+        assert main(
+            [
+                "chaos",
+                "--seeds",
+                "2",
+                "--recovery",
+                "--migrate",
+                "--conform",
+                "--json",
+                str(artifact),
+            ]
+        ) == 0
+        capsys.readouterr()
+        # Two seeds cannot exercise everything: without the baseline
+        # the cold remainder must surface as COS905 warnings (exit 0,
+        # exit 1 under --strict).
+        assert main(
+            ["model", "--coverage", str(artifact), "--no-baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "COS905" in out
+        assert main(
+            [
+                "model",
+                "--coverage",
+                str(artifact),
+                "--no-baseline",
+                "--strict",
+            ]
+        ) == 1
+        capsys.readouterr()
+
+    def test_coverage_with_baseline_ledger(self, capsys, tmp_path):
+        artifact = tmp_path / "sweep.json"
+        assert main(
+            [
+                "chaos",
+                "--seeds",
+                "2",
+                "--recovery",
+                "--conform",
+                "--json",
+                str(artifact),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["model", "--coverage", str(artifact), "--no-baseline", "--json"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        cold = [
+            d for d in payload["diagnostics"] if d["code"] == "COS905"
+        ]
+        assert cold
+        # Ledger every cold transition: the strict run must go green
+        # and the payload must account for the forgiven findings.
+        ledger = tmp_path / "baseline.txt"
+        lines = {}
+        for diag in cold:
+            lines[diag["file"]] = lines.get(diag["file"], 0) + 1
+        ledger.write_text(
+            "\n".join(
+                f"{rel} COS905 {count}" for rel, count in sorted(lines.items())
+            )
+            + "\n"
+        )
+        assert main(
+            [
+                "model",
+                "--coverage",
+                str(artifact),
+                "--baseline",
+                str(ledger),
+                "--strict",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["warnings"] == 0
+        assert payload["forgiven"] == len(cold)
+        assert payload["coverage"]["coverage_gated"] == 1.0

@@ -10,7 +10,7 @@ python tools/lint_repro.py
 echo "== repro check =="
 PYTHONPATH=src python -m repro check
 
-echo "== repro check --self (COS5xx/6xx/7xx/8xx source lint, <10s budget) =="
+echo "== repro check --self (COS5xx/6xx/7xx/8xx/9xx source lint, <10s budget) =="
 PYTHONPATH=src python -m repro check --self --strict --json > BENCH_selfcheck.json
 python - <<'EOF'
 import json
@@ -33,8 +33,8 @@ python tools/bench_scale.py
 echo "== chaos scale smoke (1000-node overlay, recovery + conformance) =="
 PYTHONPATH=src python -m repro chaos --seeds 3 --nodes 1000 --recovery --conform --json BENCH_chaos_scale.json
 
-echo "== chaos smoke (seeded fault injection) =="
-PYTHONPATH=src python -m repro chaos --seeds 25 --json BENCH_chaos.json
+echo "== chaos smoke (seeded fault injection + conformance) =="
+PYTHONPATH=src python -m repro chaos --seeds 25 --conform --json BENCH_chaos.json
 
 echo "== chaos recovery smoke (self-healing, exact delivery + conformance oracles) =="
 PYTHONPATH=src python -m repro chaos --seeds 25 --recovery --conform --json BENCH_chaos_recovery.json
@@ -55,6 +55,32 @@ for record in payload["seeds"]:
     assert completed >= 1, f"seed {seed}: no live migration completed"
 total = payload["totals"]["migrations_completed"]
 print(f"migration sweep: {total} live migrations, zero loss, zero violations")
+EOF
+
+echo "== bounded model check + chaos coverage (COS901-905, >=90% gate) =="
+PYTHONPATH=src python -m repro model --strict --json \
+    --coverage BENCH_chaos.json BENCH_chaos_recovery.json \
+               BENCH_chaos_migration.json BENCH_chaos_scale.json \
+    > BENCH_modelcov.json
+python - <<'EOF'
+import json
+payload = json.load(open("BENCH_modelcov.json"))
+model = payload["model"]
+assert model["exhausted"], "model exploration truncated — raise the cap"
+hard = [d for d in payload["diagnostics"]
+        if d["code"] in ("COS901", "COS902", "COS903", "COS904")]
+assert not hard, f"model-check errors: {hard}"
+cold = [d for d in payload["diagnostics"] if d["code"] == "COS905"]
+assert not cold, f"un-baselined cold transitions: {cold}"
+cov = payload["coverage"]
+gated = cov["coverage_gated"]
+assert gated >= 0.90, f"coverage gate: {gated:.0%} < 90%"
+print(
+    f"model: {model['states']} states, {model['edges']} edges, exhausted; "
+    f"coverage {cov['transitions_exercised']}/{cov['transitions_total']} "
+    f"(raw {cov['coverage_raw']:.0%}, gated {gated:.0%}, "
+    f"{cov['transitions_baselined']} baselined)"
+)
 EOF
 
 echo "== ci: all gates passed =="
